@@ -1,0 +1,411 @@
+//! And-Inverter Graph representation and structurally-hashed builder.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Index of a node inside an [`Aig`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Node 0 is the constant-false node of every AIG.
+    pub const FALSE: NodeId = NodeId(0);
+
+    /// Dense index of the node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An edge in the AIG: a node reference with an optional inversion,
+/// encoded AIGER-style as `2 * node + invert`.
+///
+/// # Examples
+///
+/// ```
+/// use japrove_aig::{Aig, AigLit};
+/// let mut aig = Aig::new();
+/// let x = aig.add_input();
+/// assert_eq!(!!x, x);
+/// assert_eq!(AigLit::TRUE, !AigLit::FALSE);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AigLit(u32);
+
+impl AigLit {
+    /// Constant false.
+    pub const FALSE: AigLit = AigLit(0);
+    /// Constant true.
+    pub const TRUE: AigLit = AigLit(1);
+
+    /// Creates an edge to `node`, inverted if `invert`.
+    pub fn new(node: NodeId, invert: bool) -> Self {
+        AigLit(node.0 << 1 | invert as u32)
+    }
+
+    /// Reconstructs an edge from its AIGER code.
+    pub fn from_code(code: u32) -> Self {
+        AigLit(code)
+    }
+
+    /// AIGER code `2 * node + invert`.
+    pub fn code(self) -> u32 {
+        self.0
+    }
+
+    /// The referenced node.
+    pub fn node(self) -> NodeId {
+        NodeId(self.0 >> 1)
+    }
+
+    /// Whether the edge is inverted.
+    pub fn is_inverted(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Whether this is one of the two constants.
+    pub fn is_const(self) -> bool {
+        self.node() == NodeId::FALSE
+    }
+
+    /// Evaluates a constant edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge is not constant.
+    pub fn const_value(self) -> bool {
+        assert!(self.is_const(), "const_value on non-constant edge");
+        self.is_inverted()
+    }
+}
+
+impl std::ops::Not for AigLit {
+    type Output = AigLit;
+
+    fn not(self) -> AigLit {
+        AigLit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for AigLit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_inverted() {
+            write!(f, "!n{}", self.node().0)
+        } else {
+            write!(f, "n{}", self.node().0)
+        }
+    }
+}
+
+impl fmt::Display for AigLit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// The kind of an AIG node.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Node {
+    /// The constant-false node (always node 0).
+    False,
+    /// Primary input number `.0`.
+    Input(u32),
+    /// Latch number `.0` (state element).
+    Latch(u32),
+    /// Two-input AND gate.
+    And(AigLit, AigLit),
+}
+
+/// Latch metadata: node, next-state function and reset value.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Latch {
+    /// The node representing the latch output.
+    pub node: NodeId,
+    /// Next-state function (an edge into the combinational logic).
+    pub next: AigLit,
+    /// Reset (initial) value.
+    pub reset: bool,
+}
+
+/// An And-Inverter Graph with structural hashing.
+///
+/// The graph owns inputs, latches and AND gates; every Boolean
+/// function is expressed through [`AigLit`] edges with optional
+/// inversion. Building is fully incremental: latches may be created
+/// first and their next-state functions connected later (necessary for
+/// feedback).
+///
+/// # Examples
+///
+/// ```
+/// use japrove_aig::Aig;
+/// let mut aig = Aig::new();
+/// let a = aig.add_input();
+/// let b = aig.add_input();
+/// let c = aig.and(a, b);
+/// assert_eq!(aig.and(a, b), c); // structural hashing
+/// assert_eq!(aig.num_ands(), 1);
+/// ```
+#[derive(Clone, Default)]
+pub struct Aig {
+    nodes: Vec<Node>,
+    inputs: Vec<NodeId>,
+    latches: Vec<Latch>,
+    strash: HashMap<(u32, u32), NodeId>,
+}
+
+impl Aig {
+    /// Creates an AIG containing only the constant node.
+    pub fn new() -> Self {
+        Aig {
+            nodes: vec![Node::False],
+            inputs: Vec::new(),
+            latches: Vec::new(),
+            strash: HashMap::new(),
+        }
+    }
+
+    /// Total number of nodes including the constant.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of latches.
+    pub fn num_latches(&self) -> usize {
+        self.latches.len()
+    }
+
+    /// Number of AND gates.
+    pub fn num_ands(&self) -> usize {
+        self.nodes.len() - 1 - self.inputs.len() - self.latches.len()
+    }
+
+    /// The node kind at `id`.
+    pub fn node(&self, id: NodeId) -> Node {
+        self.nodes[id.index()]
+    }
+
+    /// Input nodes in creation order.
+    pub fn inputs(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// Latches in creation order.
+    pub fn latches(&self) -> &[Latch] {
+        &self.latches
+    }
+
+    /// Adds a primary input and returns its (positive) edge.
+    pub fn add_input(&mut self) -> AigLit {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::Input(self.inputs.len() as u32));
+        self.inputs.push(id);
+        AigLit::new(id, false)
+    }
+
+    /// Adds a latch with the given reset value; the next-state function
+    /// is initially the latch itself (a self-loop) and is usually
+    /// connected later with [`Aig::set_next`].
+    pub fn add_latch(&mut self, reset: bool) -> AigLit {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::Latch(self.latches.len() as u32));
+        self.latches.push(Latch {
+            node: id,
+            next: AigLit::new(id, false),
+            reset,
+        });
+        AigLit::new(id, false)
+    }
+
+    /// Connects the next-state function of a latch edge previously
+    /// created with [`Aig::add_latch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latch` is not a positive edge onto a latch node.
+    pub fn set_next(&mut self, latch: AigLit, next: AigLit) {
+        assert!(!latch.is_inverted(), "latch edge must be positive");
+        match self.nodes[latch.node().index()] {
+            Node::Latch(k) => self.latches[k as usize].next = next,
+            _ => panic!("set_next on a non-latch node"),
+        }
+    }
+
+    /// Returns the latch metadata for a latch edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latch` does not reference a latch node.
+    pub fn latch_info(&self, latch: AigLit) -> Latch {
+        match self.nodes[latch.node().index()] {
+            Node::Latch(k) => self.latches[k as usize],
+            _ => panic!("latch_info on a non-latch node"),
+        }
+    }
+
+    /// AND of two edges with constant folding and structural hashing.
+    pub fn and(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        // Constant folding and trivial cases.
+        if a == AigLit::FALSE || b == AigLit::FALSE || a == !b {
+            return AigLit::FALSE;
+        }
+        if a == AigLit::TRUE {
+            return b;
+        }
+        if b == AigLit::TRUE || a == b {
+            return a;
+        }
+        // Canonical operand order for hashing.
+        let (x, y) = if a.code() <= b.code() { (a, b) } else { (b, a) };
+        if let Some(&id) = self.strash.get(&(x.code(), y.code())) {
+            return AigLit::new(id, false);
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node::And(x, y));
+        self.strash.insert((x.code(), y.code()), id);
+        AigLit::new(id, false)
+    }
+
+    /// OR of two edges.
+    pub fn or(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        !self.and(!a, !b)
+    }
+
+    /// XOR of two edges.
+    pub fn xor(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        let n1 = self.and(a, !b);
+        let n2 = self.and(!a, b);
+        self.or(n1, n2)
+    }
+
+    /// Equivalence (XNOR) of two edges.
+    pub fn eq(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        !self.xor(a, b)
+    }
+
+    /// Implication `a -> b`.
+    pub fn implies(&mut self, a: AigLit, b: AigLit) -> AigLit {
+        self.or(!a, b)
+    }
+
+    /// Multiplexer: `if sel then t else e`.
+    pub fn mux(&mut self, sel: AigLit, t: AigLit, e: AigLit) -> AigLit {
+        let n1 = self.and(sel, t);
+        let n2 = self.and(!sel, e);
+        self.or(n1, n2)
+    }
+
+    /// Conjunction of many edges (balanced reduction).
+    pub fn and_many<I: IntoIterator<Item = AigLit>>(&mut self, lits: I) -> AigLit {
+        let mut layer: Vec<AigLit> = lits.into_iter().collect();
+        if layer.is_empty() {
+            return AigLit::TRUE;
+        }
+        while layer.len() > 1 {
+            let mut next = Vec::with_capacity(layer.len() / 2 + 1);
+            for pair in layer.chunks(2) {
+                next.push(if pair.len() == 2 {
+                    self.and(pair[0], pair[1])
+                } else {
+                    pair[0]
+                });
+            }
+            layer = next;
+        }
+        layer[0]
+    }
+
+    /// Disjunction of many edges.
+    pub fn or_many<I: IntoIterator<Item = AigLit>>(&mut self, lits: I) -> AigLit {
+        let inverted: Vec<AigLit> = lits.into_iter().map(|l| !l).collect();
+        !self.and_many(inverted)
+    }
+}
+
+impl fmt::Debug for Aig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Aig({} inputs, {} latches, {} ands)",
+            self.num_inputs(),
+            self.num_latches(),
+            self.num_ands()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_fold() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        assert_eq!(g.and(a, AigLit::FALSE), AigLit::FALSE);
+        assert_eq!(g.and(AigLit::TRUE, a), a);
+        assert_eq!(g.and(a, a), a);
+        assert_eq!(g.and(a, !a), AigLit::FALSE);
+        assert_eq!(g.num_ands(), 0);
+    }
+
+    #[test]
+    fn strash_is_commutative() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        assert_eq!(g.and(a, b), g.and(b, a));
+        assert_eq!(g.num_ands(), 1);
+    }
+
+    #[test]
+    fn derived_gates() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let o = g.or(a, b);
+        let x = g.xor(a, b);
+        let e = g.eq(a, b);
+        assert_eq!(e, !x);
+        assert_ne!(o, x);
+        let m = g.mux(AigLit::TRUE, a, b);
+        assert_eq!(m, a);
+    }
+
+    #[test]
+    fn latch_wiring() {
+        let mut g = Aig::new();
+        let l = g.add_latch(true);
+        let inp = g.add_input();
+        let nxt = g.xor(l, inp);
+        g.set_next(l, nxt);
+        let info = g.latch_info(l);
+        assert!(info.reset);
+        assert_eq!(info.next, nxt);
+    }
+
+    #[test]
+    fn and_many_reduction() {
+        let mut g = Aig::new();
+        let xs: Vec<AigLit> = (0..5).map(|_| g.add_input()).collect();
+        let all = g.and_many(xs.iter().copied());
+        assert!(!all.is_const());
+        assert_eq!(g.and_many(std::iter::empty()), AigLit::TRUE);
+        assert_eq!(g.or_many(std::iter::empty()), AigLit::FALSE);
+        assert_eq!(g.and_many([xs[0]]), xs[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-latch")]
+    fn set_next_on_input_panics() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        g.set_next(a, b);
+    }
+}

@@ -1,0 +1,619 @@
+//! AIGER 1.9 reading and writing (ASCII `aag` and binary `aig`).
+//!
+//! Supports the multi-property sections used by the HWMCC competitions:
+//! outputs (`O`), bad-state properties (`B`) and invariant constraints
+//! (`C`), plus the symbol table and comments.
+
+use crate::{Aig, AigLit};
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Write};
+
+/// An AIG together with its AIGER-level interface: outputs, bad-state
+/// properties, invariant constraints, symbols and comments.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use japrove_aig::{Aig, AigerModel, read_aiger, write_aiger_ascii};
+/// let mut aig = Aig::new();
+/// let i = aig.add_input();
+/// let l = aig.add_latch(false);
+/// aig.set_next(l, i);
+/// let model = AigerModel { aig, outputs: vec![l], ..AigerModel::default() };
+/// let mut text = Vec::new();
+/// write_aiger_ascii(&mut text, &model)?;
+/// let back = read_aiger(&text)?;
+/// assert_eq!(back.aig.num_latches(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct AigerModel {
+    /// The underlying graph.
+    pub aig: Aig,
+    /// Ordinary outputs.
+    pub outputs: Vec<AigLit>,
+    /// Bad-state literals (property `i` holds iff `bads[i]` is false).
+    pub bads: Vec<AigLit>,
+    /// Invariant constraints (assumed true in every reachable state).
+    pub constraints: Vec<AigLit>,
+    /// Symbol table entries as `(position key, name)`, e.g. `("b0", "p_overflow")`.
+    pub symbols: Vec<(String, String)>,
+    /// Comment lines.
+    pub comments: Vec<String>,
+}
+
+/// Error produced by [`read_aiger`].
+#[derive(Debug)]
+pub enum ParseAigerError {
+    /// Malformed content.
+    Syntax {
+        /// Byte offset or line indicator.
+        at: String,
+        /// Description.
+        message: String,
+    },
+    /// Feature of the format this reader does not support.
+    Unsupported(String),
+}
+
+impl fmt::Display for ParseAigerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseAigerError::Syntax { at, message } => {
+                write!(f, "aiger syntax error at {at}: {message}")
+            }
+            ParseAigerError::Unsupported(what) => write!(f, "unsupported aiger feature: {what}"),
+        }
+    }
+}
+
+impl Error for ParseAigerError {}
+
+fn syntax(at: impl fmt::Display, message: impl Into<String>) -> ParseAigerError {
+    ParseAigerError::Syntax {
+        at: at.to_string(),
+        message: message.into(),
+    }
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Cursor { data, pos: 0, line: 1 }
+    }
+
+    fn read_line(&mut self) -> Option<&'a str> {
+        if self.pos >= self.data.len() {
+            return None;
+        }
+        let start = self.pos;
+        while self.pos < self.data.len() && self.data[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        let end = self.pos;
+        if self.pos < self.data.len() {
+            self.pos += 1; // consume newline
+        }
+        self.line += 1;
+        std::str::from_utf8(&self.data[start..end]).ok().map(|s| s.trim_end_matches('\r'))
+    }
+
+    fn read_byte(&mut self) -> Option<u8> {
+        let b = self.data.get(self.pos).copied();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    /// LEB128-style unsigned delta used by binary AIGER.
+    fn read_delta(&mut self) -> Result<u32, ParseAigerError> {
+        let mut value: u32 = 0;
+        let mut shift = 0;
+        loop {
+            let b = self
+                .read_byte()
+                .ok_or_else(|| syntax("eof", "truncated binary and-gate section"))?;
+            value |= ((b & 0x7f) as u32) << shift;
+            if b & 0x80 == 0 {
+                return Ok(value);
+            }
+            shift += 7;
+            if shift > 28 {
+                return Err(syntax("binary section", "delta overflow"));
+            }
+        }
+    }
+}
+
+fn parse_u32(tok: &str, line: usize) -> Result<u32, ParseAigerError> {
+    tok.parse::<u32>()
+        .map_err(|_| syntax(format!("line {line}"), format!("invalid number '{tok}'")))
+}
+
+/// Reads an AIGER file (ASCII or binary, auto-detected) from a byte
+/// slice.
+///
+/// # Errors
+///
+/// Returns [`ParseAigerError`] for malformed files or unsupported
+/// features (justice/fairness sections, uninitialized latches).
+pub fn read_aiger(data: &[u8]) -> Result<AigerModel, ParseAigerError> {
+    let mut cur = Cursor::new(data);
+    let header = cur
+        .read_line()
+        .ok_or_else(|| syntax("line 1", "missing header"))?;
+    let mut parts = header.split_whitespace();
+    let format = parts.next().unwrap_or("");
+    let binary = match format {
+        "aag" => false,
+        "aig" => true,
+        other => return Err(syntax("line 1", format!("unknown format '{other}'"))),
+    };
+    let nums: Vec<u32> = parts
+        .map(|t| parse_u32(t, 1))
+        .collect::<Result<_, _>>()?;
+    if nums.len() < 5 {
+        return Err(syntax("line 1", "header needs at least M I L O A"));
+    }
+    let (m, i, l, o, a) = (nums[0], nums[1], nums[2], nums[3], nums[4]);
+    let b = nums.get(5).copied().unwrap_or(0);
+    let c = nums.get(6).copied().unwrap_or(0);
+    if nums.len() > 7 && nums[7..].iter().any(|&x| x > 0) {
+        return Err(ParseAigerError::Unsupported(
+            "justice/fairness sections".to_string(),
+        ));
+    }
+    if m < i + l + a {
+        return Err(syntax("line 1", "M smaller than I+L+A"));
+    }
+
+    let mut aig = Aig::new();
+    // var -> positive edge; var 0 is the constant.
+    let mut map: Vec<Option<AigLit>> = vec![None; (m + 1) as usize];
+    map[0] = Some(AigLit::FALSE);
+
+    // Inputs.
+    let mut input_vars: Vec<u32> = Vec::with_capacity(i as usize);
+    if binary {
+        for k in 0..i {
+            input_vars.push(k + 1);
+        }
+    } else {
+        for _ in 0..i {
+            let line_no = cur.line;
+            let line = cur
+                .read_line()
+                .ok_or_else(|| syntax(format!("line {line_no}"), "missing input line"))?;
+            let lit = parse_u32(line.trim(), line_no)?;
+            if lit & 1 == 1 || lit == 0 {
+                return Err(syntax(format!("line {line_no}"), "input literal must be positive"));
+            }
+            input_vars.push(lit >> 1);
+        }
+    }
+    for &v in &input_vars {
+        let edge = aig.add_input();
+        *map.get_mut(v as usize)
+            .ok_or_else(|| syntax("inputs", "input variable exceeds M"))? = Some(edge);
+    }
+
+    // Latches: record (var, next-code, reset) for later resolution.
+    let mut latch_records: Vec<(u32, u32, bool)> = Vec::with_capacity(l as usize);
+    for k in 0..l {
+        let line_no = cur.line;
+        let line = cur
+            .read_line()
+            .ok_or_else(|| syntax(format!("line {line_no}"), "missing latch line"))?;
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let (var, rest) = if binary {
+            (i + k + 1, &toks[..])
+        } else {
+            if toks.is_empty() {
+                return Err(syntax(format!("line {line_no}"), "empty latch line"));
+            }
+            let lit = parse_u32(toks[0], line_no)?;
+            if lit & 1 == 1 {
+                return Err(syntax(format!("line {line_no}"), "latch literal must be positive"));
+            }
+            (lit >> 1, &toks[1..])
+        };
+        if rest.is_empty() {
+            return Err(syntax(format!("line {line_no}"), "latch needs a next-state literal"));
+        }
+        let next = parse_u32(rest[0], line_no)?;
+        let reset = match rest.get(1) {
+            None => false,
+            Some(tok) => {
+                let r = parse_u32(tok, line_no)?;
+                if r == 0 {
+                    false
+                } else if r == 1 {
+                    true
+                } else {
+                    return Err(ParseAigerError::Unsupported(
+                        "uninitialized latches".to_string(),
+                    ));
+                }
+            }
+        };
+        let edge = aig.add_latch(reset);
+        *map.get_mut(var as usize)
+            .ok_or_else(|| syntax("latches", "latch variable exceeds M"))? = Some(edge);
+        latch_records.push((var, next, reset));
+    }
+
+    // Outputs, bads, constraints: literal codes, resolved later.
+    let read_codes = |cur: &mut Cursor<'_>, n: u32, what: &str| -> Result<Vec<u32>, ParseAigerError> {
+        let mut out = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let line_no = cur.line;
+            let line = cur
+                .read_line()
+                .ok_or_else(|| syntax(format!("line {line_no}"), format!("missing {what} line")))?;
+            out.push(parse_u32(line.trim(), line_no)?);
+        }
+        Ok(out)
+    };
+    let output_codes = read_codes(&mut cur, o, "output")?;
+    let bad_codes = read_codes(&mut cur, b, "bad")?;
+    let constraint_codes = read_codes(&mut cur, c, "constraint")?;
+
+    // AND gates.
+    if binary {
+        for k in 0..a {
+            let lhs_var = i + l + k + 1;
+            let delta0 = cur.read_delta()?;
+            let delta1 = cur.read_delta()?;
+            let lhs_code = lhs_var * 2;
+            let rhs0 = lhs_code
+                .checked_sub(delta0)
+                .ok_or_else(|| syntax("binary section", "rhs0 delta underflow"))?;
+            let rhs1 = rhs0
+                .checked_sub(delta1)
+                .ok_or_else(|| syntax("binary section", "rhs1 delta underflow"))?;
+            let ea = resolve(&map, rhs0).ok_or_else(|| syntax("binary section", "operand not yet defined"))?;
+            let eb = resolve(&map, rhs1).ok_or_else(|| syntax("binary section", "operand not yet defined"))?;
+            let edge = aig.and(ea, eb);
+            map[lhs_var as usize] = Some(edge);
+        }
+    } else {
+        for _ in 0..a {
+            let line_no = cur.line;
+            let line = cur
+                .read_line()
+                .ok_or_else(|| syntax(format!("line {line_no}"), "missing and-gate line"))?;
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            if toks.len() != 3 {
+                return Err(syntax(format!("line {line_no}"), "and gate needs 'lhs rhs0 rhs1'"));
+            }
+            let lhs = parse_u32(toks[0], line_no)?;
+            let rhs0 = parse_u32(toks[1], line_no)?;
+            let rhs1 = parse_u32(toks[2], line_no)?;
+            if lhs & 1 == 1 {
+                return Err(syntax(format!("line {line_no}"), "and lhs must be positive"));
+            }
+            let ea = resolve(&map, rhs0)
+                .ok_or_else(|| syntax(format!("line {line_no}"), "operand not yet defined"))?;
+            let eb = resolve(&map, rhs1)
+                .ok_or_else(|| syntax(format!("line {line_no}"), "operand not yet defined"))?;
+            let edge = aig.and(ea, eb);
+            map[(lhs >> 1) as usize] = Some(edge);
+        }
+    }
+
+    // Resolve latch next-state functions.
+    for &(var, next_code, _) in &latch_records {
+        let latch_edge = map[var as usize].expect("latch mapped");
+        let next = resolve(&map, next_code)
+            .ok_or_else(|| syntax("latches", "next-state literal undefined"))?;
+        aig.set_next(latch_edge, next);
+    }
+
+    let resolve_all = |codes: &[u32], what: &str| -> Result<Vec<AigLit>, ParseAigerError> {
+        codes
+            .iter()
+            .map(|&code| resolve(&map, code).ok_or_else(|| syntax(what, "literal undefined")))
+            .collect()
+    };
+    let outputs = resolve_all(&output_codes, "outputs")?;
+    let bads = resolve_all(&bad_codes, "bads")?;
+    let constraints = resolve_all(&constraint_codes, "constraints")?;
+
+    // Symbols and comments.
+    let mut symbols = Vec::new();
+    let mut comments = Vec::new();
+    let mut in_comments = false;
+    while let Some(line) = cur.read_line() {
+        if in_comments {
+            comments.push(line.to_string());
+        } else if line == "c" {
+            in_comments = true;
+        } else if let Some(space) = line.find(' ') {
+            symbols.push((line[..space].to_string(), line[space + 1..].to_string()));
+        }
+    }
+
+    Ok(AigerModel {
+        aig,
+        outputs,
+        bads,
+        constraints,
+        symbols,
+        comments,
+    })
+}
+
+fn resolve(map: &[Option<AigLit>], code: u32) -> Option<AigLit> {
+    let var = (code >> 1) as usize;
+    let edge = (*map.get(var)?)?;
+    Some(if code & 1 == 1 { !edge } else { edge })
+}
+
+/// Assigns AIGER variable numbers: inputs, then latches, then AND gates
+/// in topological (creation) order. Returns `node index -> aiger var`.
+fn number_nodes(aig: &Aig) -> Vec<u32> {
+    let mut numbering = vec![u32::MAX; aig.num_nodes()];
+    numbering[0] = 0;
+    let mut next = 1u32;
+    for &inp in aig.inputs() {
+        numbering[inp.index()] = next;
+        next += 1;
+    }
+    for latch in aig.latches() {
+        numbering[latch.node.index()] = next;
+        next += 1;
+    }
+    for idx in 0..aig.num_nodes() {
+        if let crate::Node::And(_, _) = aig.node(crate::NodeId(idx as u32)) {
+            numbering[idx] = next;
+            next += 1;
+        }
+    }
+    numbering
+}
+
+fn edge_code(numbering: &[u32], lit: AigLit) -> u32 {
+    numbering[lit.node().index()] * 2 + lit.is_inverted() as u32
+}
+
+fn write_header<W: Write>(
+    w: &mut W,
+    format: &str,
+    aig: &Aig,
+    model: &AigerModel,
+) -> io::Result<()> {
+    let m = aig.num_inputs() + aig.num_latches() + aig.num_ands();
+    write!(
+        w,
+        "{format} {m} {} {} {} {}",
+        aig.num_inputs(),
+        aig.num_latches(),
+        model.outputs.len(),
+        aig.num_ands()
+    )?;
+    if !model.bads.is_empty() || !model.constraints.is_empty() {
+        write!(w, " {}", model.bads.len())?;
+        if !model.constraints.is_empty() {
+            write!(w, " {}", model.constraints.len())?;
+        }
+    }
+    writeln!(w)
+}
+
+fn write_tail<W: Write>(w: &mut W, model: &AigerModel) -> io::Result<()> {
+    for (key, name) in &model.symbols {
+        writeln!(w, "{key} {name}")?;
+    }
+    if !model.comments.is_empty() {
+        writeln!(w, "c")?;
+        for line in &model.comments {
+            writeln!(w, "{line}")?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes an [`AigerModel`] in ASCII (`aag`) format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer (a mut reference can be
+/// passed).
+pub fn write_aiger_ascii<W: Write>(mut w: W, model: &AigerModel) -> io::Result<()> {
+    let aig = &model.aig;
+    let numbering = number_nodes(aig);
+    write_header(&mut w, "aag", aig, model)?;
+    for &inp in aig.inputs() {
+        writeln!(w, "{}", numbering[inp.index()] * 2)?;
+    }
+    for latch in aig.latches() {
+        writeln!(
+            w,
+            "{} {} {}",
+            numbering[latch.node.index()] * 2,
+            edge_code(&numbering, latch.next),
+            latch.reset as u32
+        )?;
+    }
+    for &o in &model.outputs {
+        writeln!(w, "{}", edge_code(&numbering, o))?;
+    }
+    for &b in &model.bads {
+        writeln!(w, "{}", edge_code(&numbering, b))?;
+    }
+    for &c in &model.constraints {
+        writeln!(w, "{}", edge_code(&numbering, c))?;
+    }
+    for idx in 0..aig.num_nodes() {
+        if let crate::Node::And(a, b) = aig.node(crate::NodeId(idx as u32)) {
+            let lhs = numbering[idx] * 2;
+            let (c0, c1) = (edge_code(&numbering, a), edge_code(&numbering, b));
+            let (c0, c1) = if c0 >= c1 { (c0, c1) } else { (c1, c0) };
+            writeln!(w, "{lhs} {c0} {c1}")?;
+        }
+    }
+    write_tail(&mut w, model)
+}
+
+/// Writes an [`AigerModel`] in binary (`aig`) format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_aiger_binary<W: Write>(mut w: W, model: &AigerModel) -> io::Result<()> {
+    let aig = &model.aig;
+    let numbering = number_nodes(aig);
+    write_header(&mut w, "aig", aig, model)?;
+    for latch in aig.latches() {
+        writeln!(
+            w,
+            "{} {}",
+            edge_code(&numbering, latch.next),
+            latch.reset as u32
+        )?;
+    }
+    for &o in &model.outputs {
+        writeln!(w, "{}", edge_code(&numbering, o))?;
+    }
+    for &b in &model.bads {
+        writeln!(w, "{}", edge_code(&numbering, b))?;
+    }
+    for &c in &model.constraints {
+        writeln!(w, "{}", edge_code(&numbering, c))?;
+    }
+    let write_delta = |w: &mut W, mut d: u32| -> io::Result<()> {
+        loop {
+            let byte = (d & 0x7f) as u8;
+            d >>= 7;
+            if d == 0 {
+                w.write_all(&[byte])?;
+                return Ok(());
+            }
+            w.write_all(&[byte | 0x80])?;
+        }
+    };
+    for idx in 0..aig.num_nodes() {
+        if let crate::Node::And(a, b) = aig.node(crate::NodeId(idx as u32)) {
+            let lhs = numbering[idx] * 2;
+            let (c0, c1) = (edge_code(&numbering, a), edge_code(&numbering, b));
+            let (c0, c1) = if c0 >= c1 { (c0, c1) } else { (c1, c0) };
+            write_delta(&mut w, lhs - c0)?;
+            write_delta(&mut w, c0 - c1)?;
+        }
+    }
+    write_tail(&mut w, model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Simulator;
+
+    fn toggle_model() -> AigerModel {
+        let mut aig = Aig::new();
+        let en = aig.add_input();
+        let l = aig.add_latch(false);
+        let nxt = aig.xor(l, en);
+        aig.set_next(l, nxt);
+        AigerModel {
+            outputs: vec![l],
+            bads: vec![aig.and(l, en)],
+            constraints: vec![!AigLit::FALSE],
+            symbols: vec![("b0".into(), "toggle_high".into())],
+            comments: vec!["generated by japrove".into()],
+            aig,
+        }
+    }
+
+    fn behaviours_match(a: &AigerModel, b: &AigerModel, steps: usize) {
+        let mut sa = Simulator::new(&a.aig);
+        let mut sb = Simulator::new(&b.aig);
+        let patterns = [0xAAAAu64, 0x1234, !0u64, 0];
+        for s in 0..steps {
+            let inp = vec![patterns[s % patterns.len()]; a.aig.num_inputs()];
+            sa.eval(&a.aig, &inp);
+            sb.eval(&b.aig, &inp);
+            for (oa, ob) in a.outputs.iter().zip(&b.outputs) {
+                assert_eq!(sa.value(*oa), sb.value(*ob), "output diverged at step {s}");
+            }
+            for (ba, bb) in a.bads.iter().zip(&b.bads) {
+                assert_eq!(sa.value(*ba), sb.value(*bb), "bad diverged at step {s}");
+            }
+            sa.step(&a.aig, &inp);
+            sb.step(&b.aig, &inp);
+        }
+    }
+
+    #[test]
+    fn ascii_round_trip() {
+        let model = toggle_model();
+        let mut text = Vec::new();
+        write_aiger_ascii(&mut text, &model).expect("write");
+        let back = read_aiger(&text).expect("parse");
+        assert_eq!(back.aig.num_inputs(), 1);
+        assert_eq!(back.aig.num_latches(), 1);
+        assert_eq!(back.bads.len(), 1);
+        assert_eq!(back.constraints.len(), 1);
+        assert_eq!(back.symbols, model.symbols);
+        assert_eq!(back.comments, model.comments);
+        behaviours_match(&model, &back, 6);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let model = toggle_model();
+        let mut bytes = Vec::new();
+        write_aiger_binary(&mut bytes, &model).expect("write");
+        let back = read_aiger(&bytes).expect("parse");
+        assert_eq!(back.aig.num_inputs(), 1);
+        assert_eq!(back.aig.num_latches(), 1);
+        behaviours_match(&model, &back, 6);
+    }
+
+    #[test]
+    fn ascii_and_binary_agree() {
+        let model = toggle_model();
+        let mut text = Vec::new();
+        write_aiger_ascii(&mut text, &model).expect("write ascii");
+        let mut bytes = Vec::new();
+        write_aiger_binary(&mut bytes, &model).expect("write binary");
+        let a = read_aiger(&text).expect("parse ascii");
+        let b = read_aiger(&bytes).expect("parse binary");
+        behaviours_match(&a, &b, 6);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_aiger(b"hello world\n").is_err());
+        assert!(read_aiger(b"aag 1\n").is_err());
+        assert!(read_aiger(b"").is_err());
+    }
+
+    #[test]
+    fn rejects_justice_sections() {
+        let res = read_aiger(b"aag 0 0 0 0 0 0 0 1\n");
+        assert!(matches!(res, Err(ParseAigerError::Unsupported(_))));
+    }
+
+    #[test]
+    fn parses_minimal_known_file() {
+        // A latch that toggles, from the AIGER spec examples.
+        let text = b"aag 1 0 1 1 0\n2 3\n2\n";
+        let model = read_aiger(text).expect("parse");
+        assert_eq!(model.aig.num_latches(), 1);
+        assert_eq!(model.outputs.len(), 1);
+        let mut sim = Simulator::new(&model.aig);
+        assert!(!sim.value_bit(model.outputs[0]));
+        sim.step(&model.aig, &[]);
+        assert!(sim.value_bit(model.outputs[0]));
+    }
+}

@@ -1,0 +1,316 @@
+//! Tseitin encoding of AIG cones into CNF.
+
+use crate::{Aig, AigLit, Node, NodeId};
+use japrove_logic::{Clause, Cnf, Lit, Var};
+
+/// Incremental Tseitin encoder from an [`Aig`] into a [`Cnf`].
+///
+/// SAT variables are assigned on demand as cones are requested;
+/// callers may *pin* chosen nodes (typically latches and inputs) to
+/// specific variables first so the state variables occupy a known,
+/// dense range — the layout the IC3 engine relies on.
+///
+/// # Examples
+///
+/// ```
+/// use japrove_aig::{Aig, CnfEncoder};
+/// let mut aig = Aig::new();
+/// let a = aig.add_input();
+/// let b = aig.add_input();
+/// let c = aig.and(a, b);
+/// let mut enc = CnfEncoder::new();
+/// let va = enc.pin(a.node());
+/// let vb = enc.pin(b.node());
+/// let lit_c = enc.lit_for(&aig, c);
+/// let cnf = enc.take_new_clauses();
+/// assert_eq!(cnf.num_clauses(), 3); // one AND gate
+/// assert!(!lit_c.is_negated());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CnfEncoder {
+    var_map: Vec<Option<Var>>,
+    next_var: u32,
+    pending: Cnf,
+    /// Lazily created variable constrained to true, for constant edges.
+    const_true: Option<Var>,
+}
+
+impl CnfEncoder {
+    /// Creates an encoder that allocates variables from 0.
+    pub fn new() -> Self {
+        CnfEncoder::default()
+    }
+
+    /// Creates an encoder that starts allocating at `first_var`.
+    pub fn starting_at(first_var: u32) -> Self {
+        CnfEncoder {
+            next_var: first_var,
+            ..CnfEncoder::default()
+        }
+    }
+
+    /// Number of variables allocated so far (i.e. the next free index).
+    pub fn num_vars(&self) -> u32 {
+        self.next_var
+    }
+
+    /// Pins `node` to a fresh variable and returns it; no clauses are
+    /// generated for pinned nodes (their defining logic, if any, is not
+    /// encoded through this entry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node already has a variable.
+    pub fn pin(&mut self, node: NodeId) -> Var {
+        self.grow(node);
+        assert!(
+            self.var_map[node.index()].is_none(),
+            "node already has a variable"
+        );
+        let v = self.fresh();
+        self.var_map[node.index()] = Some(v);
+        v
+    }
+
+    /// Pins `node` to an existing variable (e.g. the state variables of
+    /// a previous unrolling frame). No clauses are generated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node already has a variable.
+    pub fn pin_to(&mut self, node: NodeId, var: Var) {
+        self.grow(node);
+        assert!(
+            self.var_map[node.index()].is_none(),
+            "node already has a variable"
+        );
+        self.var_map[node.index()] = Some(var);
+    }
+
+    /// Allocates a fresh variable not tied to any node (used by engines
+    /// for activation literals or auxiliary definitions).
+    pub fn fresh(&mut self) -> Var {
+        let v = Var::new(self.next_var);
+        self.next_var += 1;
+        v
+    }
+
+    /// Returns the variable already assigned to `node`, if any.
+    pub fn var_of(&self, node: NodeId) -> Option<Var> {
+        self.var_map.get(node.index()).copied().flatten()
+    }
+
+    /// Returns a SAT literal equivalent to edge `lit`, encoding the
+    /// required AND cone into pending clauses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cone reaches an input or latch that was not
+    /// pinned — encoders require all leaves to be pinned first.
+    pub fn lit_for(&mut self, aig: &Aig, lit: AigLit) -> Lit {
+        if lit.is_const() {
+            let v = self.const_true_var();
+            return v.pos().apply_sign(!lit.is_inverted());
+        }
+        let v = self.encode_node(aig, lit.node());
+        v.lit(lit.is_inverted())
+    }
+
+    /// Removes and returns the clauses generated since the last call.
+    pub fn take_new_clauses(&mut self) -> Cnf {
+        let mut cnf = Cnf::with_vars(self.next_var);
+        std::mem::swap(&mut cnf, &mut self.pending);
+        cnf.ensure_vars(self.next_var);
+        cnf
+    }
+
+    fn const_true_var(&mut self) -> Var {
+        match self.const_true {
+            Some(v) => v,
+            None => {
+                let v = self.fresh();
+                self.pending.add_clause(Clause::unit(v.pos()));
+                self.const_true = Some(v);
+                v
+            }
+        }
+    }
+
+    fn grow(&mut self, node: NodeId) {
+        if self.var_map.len() <= node.index() {
+            self.var_map.resize(node.index() + 1, None);
+        }
+    }
+
+    fn encode_node(&mut self, aig: &Aig, root: NodeId) -> Var {
+        self.grow(NodeId((aig.num_nodes() - 1) as u32));
+        if let Some(v) = self.var_map[root.index()] {
+            return v;
+        }
+        // Iterative post-order over the unencoded AND cone.
+        let mut stack = vec![(root, false)];
+        while let Some((id, expanded)) = stack.pop() {
+            if self.var_map[id.index()].is_some() {
+                continue;
+            }
+            match aig.node(id) {
+                Node::False => {
+                    let v = self.const_true_var();
+                    // Constant node is the *false* constant: var is true,
+                    // node literal false — map node to a dedicated var
+                    // forced false.
+                    let f = self.fresh();
+                    self.pending.add_clause(Clause::unit(f.neg()));
+                    self.var_map[id.index()] = Some(f);
+                    let _ = v;
+                }
+                Node::Input(_) | Node::Latch(_) => {
+                    panic!("cone reaches unpinned leaf node {id:?}; pin inputs and latches first")
+                }
+                Node::And(a, b) => {
+                    if expanded {
+                        let la = self.edge_lit(a);
+                        let lb = self.edge_lit(b);
+                        let v = self.fresh();
+                        self.var_map[id.index()] = Some(v);
+                        // v <-> la & lb
+                        self.pending.add_clause(Clause::from_lits([v.neg(), la]));
+                        self.pending.add_clause(Clause::from_lits([v.neg(), lb]));
+                        self.pending
+                            .add_clause(Clause::from_lits([v.pos(), !la, !lb]));
+                    } else {
+                        stack.push((id, true));
+                        if !a.is_const() && self.var_map[a.node().index()].is_none() {
+                            stack.push((a.node(), false));
+                        }
+                        if !b.is_const() && self.var_map[b.node().index()].is_none() {
+                            stack.push((b.node(), false));
+                        }
+                    }
+                }
+            }
+        }
+        self.var_map[root.index()].expect("root encoded")
+    }
+
+    fn edge_lit(&mut self, lit: AigLit) -> Lit {
+        if lit.is_const() {
+            let v = self.const_true_var();
+            return v.pos().apply_sign(!lit.is_inverted());
+        }
+        let v = self.var_map[lit.node().index()].expect("operand encoded");
+        v.lit(lit.is_inverted())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use japrove_sat::{SolveResult, Solver};
+
+    fn load(solver: &mut Solver, cnf: &Cnf) {
+        solver.ensure_vars(cnf.num_vars());
+        for c in cnf.clauses() {
+            solver.add_clause(c.lits().iter().copied());
+        }
+    }
+
+    #[test]
+    fn and_gate_semantics() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let c = g.and(a, b);
+        let mut enc = CnfEncoder::new();
+        let va = enc.pin(a.node());
+        let vb = enc.pin(b.node());
+        let lc = enc.lit_for(&g, c);
+        let cnf = enc.take_new_clauses();
+
+        let mut s = Solver::new();
+        load(&mut s, &cnf);
+        // a=1, b=1 forces c=1.
+        assert_eq!(s.solve(&[va.pos(), vb.pos(), !lc]), SolveResult::Unsat);
+        // a=0 forces c=0.
+        assert_eq!(s.solve(&[va.neg(), lc]), SolveResult::Unsat);
+        assert_eq!(s.solve(&[va.pos(), vb.neg(), lc]), SolveResult::Unsat);
+        assert_eq!(s.solve(&[va.pos(), vb.pos(), lc]), SolveResult::Sat);
+    }
+
+    #[test]
+    fn xor_tree_agrees_with_simulation() {
+        use crate::Simulator;
+        let mut g = Aig::new();
+        let xs: Vec<AigLit> = (0..4).map(|_| g.add_input()).collect();
+        let mut acc = AigLit::FALSE;
+        for &x in &xs {
+            acc = g.xor(acc, x);
+        }
+        let mut enc = CnfEncoder::new();
+        let vars: Vec<Var> = xs.iter().map(|l| enc.pin(l.node())).collect();
+        let lit = enc.lit_for(&g, acc);
+        let cnf = enc.take_new_clauses();
+        let mut s = Solver::new();
+        load(&mut s, &cnf);
+
+        let mut sim = Simulator::new(&g);
+        for bits in 0u64..16 {
+            let inputs: Vec<u64> = (0..4).map(|i| (bits >> i) & 1).collect();
+            sim.eval(&g, &inputs);
+            let expect = sim.value(acc) & 1 == 1;
+            let mut assumptions: Vec<Lit> =
+                (0..4).map(|i| vars[i].lit((bits >> i) & 1 == 0)).collect();
+            assumptions.push(lit.apply_sign(expect));
+            assert_eq!(
+                s.solve(&assumptions),
+                SolveResult::Unsat,
+                "cnf disagrees with simulation at {bits:04b}"
+            );
+        }
+    }
+
+    #[test]
+    fn constant_edges_encode() {
+        let g = Aig::new();
+        let mut enc = CnfEncoder::new();
+        let t = enc.lit_for(&g, AigLit::TRUE);
+        let f = enc.lit_for(&g, AigLit::FALSE);
+        let cnf = enc.take_new_clauses();
+        let mut s = Solver::new();
+        load(&mut s, &cnf);
+        assert_eq!(s.solve(&[!t]), SolveResult::Unsat);
+        assert_eq!(s.solve(&[f]), SolveResult::Unsat);
+        assert_eq!(s.solve(&[t, !f]), SolveResult::Sat);
+    }
+
+    #[test]
+    #[should_panic(expected = "unpinned leaf")]
+    fn unpinned_leaf_panics() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let c = g.and(a, b);
+        let mut enc = CnfEncoder::new();
+        let _ = enc.lit_for(&g, c);
+    }
+
+    #[test]
+    fn take_clauses_is_incremental() {
+        let mut g = Aig::new();
+        let a = g.add_input();
+        let b = g.add_input();
+        let c = g.and(a, b);
+        let d = g.or(a, b);
+        let mut enc = CnfEncoder::new();
+        enc.pin(a.node());
+        enc.pin(b.node());
+        let _ = enc.lit_for(&g, c);
+        let first = enc.take_new_clauses();
+        assert_eq!(first.num_clauses(), 3);
+        let _ = enc.lit_for(&g, d);
+        let second = enc.take_new_clauses();
+        assert_eq!(second.num_clauses(), 3);
+        let _ = enc.lit_for(&g, c); // cached, no new clauses
+        assert_eq!(enc.take_new_clauses().num_clauses(), 0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Cone-of-influence computation.
+
+use crate::{Aig, AigLit, Node, NodeId};
+
+/// The cone of influence of a set of root edges.
+///
+/// Computed either combinationally (stopping at latches and inputs) or
+/// sequentially (following latch next-state functions to a fixpoint).
+/// Used by the benchmark generators and by structural statistics; also
+/// the basis of the "similar cones" discussion in the related-work
+/// section of the paper.
+#[derive(Clone, Debug)]
+pub struct Cone {
+    in_cone: Vec<bool>,
+    num_latches: usize,
+    num_inputs: usize,
+}
+
+impl Cone {
+    /// Combinational cone: transitive fanin of `roots` up to inputs and
+    /// latch outputs.
+    pub fn combinational<I: IntoIterator<Item = AigLit>>(aig: &Aig, roots: I) -> Self {
+        Self::compute(aig, roots, false)
+    }
+
+    /// Sequential cone: like combinational, but latches pull in their
+    /// next-state cones until a fixpoint is reached.
+    pub fn sequential<I: IntoIterator<Item = AigLit>>(aig: &Aig, roots: I) -> Self {
+        Self::compute(aig, roots, true)
+    }
+
+    fn compute<I: IntoIterator<Item = AigLit>>(aig: &Aig, roots: I, through_latches: bool) -> Self {
+        let mut in_cone = vec![false; aig.num_nodes()];
+        let mut stack: Vec<NodeId> = roots.into_iter().map(AigLit::node).collect();
+        let mut num_latches = 0;
+        let mut num_inputs = 0;
+        while let Some(id) = stack.pop() {
+            if in_cone[id.index()] {
+                continue;
+            }
+            in_cone[id.index()] = true;
+            match aig.node(id) {
+                Node::False => {}
+                Node::Input(_) => num_inputs += 1,
+                Node::Latch(k) => {
+                    num_latches += 1;
+                    if through_latches {
+                        stack.push(aig.latches()[k as usize].next.node());
+                    }
+                }
+                Node::And(a, b) => {
+                    stack.push(a.node());
+                    stack.push(b.node());
+                }
+            }
+        }
+        Cone {
+            in_cone,
+            num_latches,
+            num_inputs,
+        }
+    }
+
+    /// Whether `id` lies in the cone.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.in_cone.get(id.index()).copied().unwrap_or(false)
+    }
+
+    /// Number of latches in the cone.
+    pub fn num_latches(&self) -> usize {
+        self.num_latches
+    }
+
+    /// Number of inputs in the cone.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Total number of nodes in the cone.
+    pub fn size(&self) -> usize {
+        self.in_cone.iter().filter(|&&b| b).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combinational_stops_at_latches() {
+        let mut g = Aig::new();
+        let l = g.add_latch(false);
+        let i = g.add_input();
+        let n = g.and(l, i);
+        g.set_next(l, n);
+        let unrelated = g.add_input();
+        let cone = Cone::combinational(&g, [l]);
+        assert!(cone.contains(l.node()));
+        assert!(!cone.contains(n.node()));
+        assert!(!cone.contains(unrelated.node()));
+        assert_eq!(cone.num_latches(), 1);
+        assert_eq!(cone.num_inputs(), 0);
+    }
+
+    #[test]
+    fn sequential_follows_next_state() {
+        let mut g = Aig::new();
+        let l = g.add_latch(false);
+        let i = g.add_input();
+        let n = g.and(l, i);
+        g.set_next(l, n);
+        let cone = Cone::sequential(&g, [l]);
+        assert!(cone.contains(n.node()));
+        assert_eq!(cone.num_inputs(), 1);
+        assert_eq!(cone.size(), 3);
+    }
+
+    #[test]
+    fn disjoint_modules_have_disjoint_cones() {
+        let mut g = Aig::new();
+        let l1 = g.add_latch(false);
+        let l2 = g.add_latch(false);
+        g.set_next(l1, !l1);
+        g.set_next(l2, !l2);
+        let c1 = Cone::sequential(&g, [l1]);
+        assert!(c1.contains(l1.node()));
+        assert!(!c1.contains(l2.node()));
+    }
+}

@@ -1,0 +1,83 @@
+//! Criterion benchmarks for the model-checking engines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use japrove_aig::Aig;
+use japrove_ic3::{Bmc, BmcResult, Ic3, Ic3Options};
+use japrove_sat::Budget;
+use japrove_tsys::{PropertyId, TransitionSystem, Word};
+
+fn wrapping_counter(bits: usize, wrap: u64, limit: u64) -> (TransitionSystem, PropertyId) {
+    let mut aig = Aig::new();
+    let c = Word::latches(&mut aig, bits, 0);
+    let at = c.eq_const(&mut aig, wrap);
+    let inc = c.increment(&mut aig);
+    let zero = Word::constant(&mut aig, 0, bits);
+    let next = Word::mux(&mut aig, at, &zero, &inc);
+    c.set_next(&mut aig, &next);
+    let safe = c.lt_const(&mut aig, limit);
+    let mut sys = TransitionSystem::new("wrap", aig);
+    let p = sys.add_property("bound", safe);
+    (sys, p)
+}
+
+fn free_counter(bits: usize, limit: u64) -> (TransitionSystem, PropertyId) {
+    let mut aig = Aig::new();
+    let c = Word::latches(&mut aig, bits, 0);
+    let inc = c.increment(&mut aig);
+    c.set_next(&mut aig, &inc);
+    let safe = c.lt_const(&mut aig, limit);
+    let mut sys = TransitionSystem::new("free", aig);
+    let p = sys.add_property("bound", safe);
+    (sys, p)
+}
+
+fn bench_ic3_prove(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ic3/prove_wrapping_counter");
+    group.sample_size(10);
+    for bits in [6usize, 8] {
+        let (sys, p) = wrapping_counter(bits, (1 << bits) - 6, 1 << bits);
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, _| {
+            b.iter(|| {
+                let outcome = Ic3::new(&sys, p, Ic3Options::new()).run();
+                assert!(outcome.is_proved());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ic3_deep_cex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ic3/deep_cex");
+    group.sample_size(10);
+    for depth in [50u64, 150] {
+        let (sys, p) = free_counter(9, depth);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                let outcome = Ic3::new(&sys, p, Ic3Options::new()).run();
+                assert_eq!(outcome.counterexample().unwrap().depth as u64, depth);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bmc_unroll(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bmc/unroll_to_cex");
+    group.sample_size(10);
+    for depth in [32u64, 64] {
+        let (sys, p) = free_counter(8, depth);
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, _| {
+            b.iter(|| {
+                let mut bmc = Bmc::new(&sys);
+                match bmc.run(&[p], depth as usize + 2, Budget::unlimited()) {
+                    BmcResult::Cex { cex, .. } => assert_eq!(cex.depth as u64, depth),
+                    other => panic!("expected cex, got {other:?}"),
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ic3_prove, bench_ic3_deep_cex, bench_bmc_unroll);
+criterion_main!(benches);

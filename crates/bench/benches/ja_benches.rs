@@ -1,0 +1,66 @@
+//! Criterion benchmarks for the multi-property drivers: the headline
+//! joint-vs-JA comparison and the clause re-use ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use japrove_core::{ja_verify, joint_verify, separate_verify, JointOptions, SeparateOptions};
+use japrove_genbench::FamilyParams;
+
+fn failing_design() -> japrove_genbench::GeneratedDesign {
+    FamilyParams::new("bench_failing", 13)
+        .easy_true(4)
+        .chain(4, 6)
+        .shallow_fails(vec![2])
+        .shadow_group(2, vec![20, 30])
+        .generate()
+}
+
+fn all_true_design() -> japrove_genbench::GeneratedDesign {
+    FamilyParams::new("bench_true", 31).chain(8, 8).ring(8, 8).generate()
+}
+
+fn bench_ja_vs_joint(c: &mut Criterion) {
+    let design = failing_design();
+    let mut group = c.benchmark_group("multiprop/failing_design");
+    group.sample_size(10);
+    group.bench_function("ja", |b| {
+        b.iter(|| {
+            let report = ja_verify(&design.sys, &SeparateOptions::local());
+            assert!(report.num_false() >= 1);
+        })
+    });
+    group.bench_function("joint", |b| {
+        b.iter(|| {
+            let report = joint_verify(&design.sys, &JointOptions::new());
+            assert!(report.num_false() >= 1);
+        })
+    });
+    group.bench_function("separate_global", |b| {
+        b.iter(|| {
+            let report = separate_verify(&design.sys, &SeparateOptions::global());
+            assert!(report.num_false() >= 1);
+        })
+    });
+    group.finish();
+}
+
+fn bench_clause_reuse(c: &mut Criterion) {
+    let design = all_true_design();
+    let mut group = c.benchmark_group("multiprop/clause_reuse");
+    group.sample_size(10);
+    group.bench_function("with_reuse", |b| {
+        b.iter(|| {
+            let report = separate_verify(&design.sys, &SeparateOptions::local().reuse(true));
+            assert_eq!(report.num_unsolved(), 0);
+        })
+    });
+    group.bench_function("without_reuse", |b| {
+        b.iter(|| {
+            let report = separate_verify(&design.sys, &SeparateOptions::local().reuse(false));
+            assert_eq!(report.num_unsolved(), 0);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ja_vs_joint, bench_clause_reuse);
+criterion_main!(benches);

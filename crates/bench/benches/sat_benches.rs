@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks for the CDCL solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use japrove_logic::Lit;
+use japrove_sat::{SolveResult, Solver};
+
+/// Unsatisfiable pigeonhole instance: n+1 pigeons, n holes.
+fn pigeonhole(n: usize) -> Solver {
+    let mut s = Solver::new();
+    let vars: Vec<Vec<_>> = (0..n + 1)
+        .map(|_| (0..n).map(|_| s.new_var()).collect())
+        .collect();
+    for row in &vars {
+        s.add_clause(row.iter().map(|v| v.pos()));
+    }
+    for hole in 0..n {
+        for a in 0..n + 1 {
+            for b in (a + 1)..n + 1 {
+                s.add_clause([vars[a][hole].neg(), vars[b][hole].neg()]);
+            }
+        }
+    }
+    s
+}
+
+fn bench_pigeonhole(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat/pigeonhole_unsat");
+    group.sample_size(10);
+    for n in [5usize, 6, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = pigeonhole(n);
+                assert_eq!(s.solve(&[]), SolveResult::Unsat);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental_assumptions(c: &mut Criterion) {
+    // Implication chain solved under many alternating assumptions.
+    c.bench_function("sat/incremental_chain", |b| {
+        let mut s = Solver::new();
+        let vars: Vec<_> = (0..400).map(|_| s.new_var()).collect();
+        for w in vars.windows(2) {
+            s.add_clause([w[0].neg(), w[1].pos()]);
+        }
+        b.iter(|| {
+            let sat = s.solve(&[vars[0].pos()]);
+            assert_eq!(sat, SolveResult::Sat);
+            let unsat = s.solve(&[vars[0].pos(), vars[399].neg()]);
+            assert_eq!(unsat, SolveResult::Unsat);
+            let core: Vec<Lit> = s.unsat_core().to_vec();
+            assert!(!core.is_empty());
+        })
+    });
+}
+
+criterion_group!(benches, bench_pigeonhole, bench_incremental_assumptions);
+criterion_main!(benches);

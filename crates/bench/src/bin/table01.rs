@@ -1,0 +1,95 @@
+//! Table I — the buggy counter of Example 1.
+//!
+//! Compares solving both properties globally (BMC, then IC3) against
+//! solving them locally (JA-verification). The paper's effect: BMC
+//! explodes exponentially in the counter width, IC3 grows quickly, and
+//! the local approach is flat (independent of width).
+
+use japrove_bench::{fmt_time, limits, Table};
+use japrove_core::{ja_verify, SeparateOptions};
+use japrove_genbench::buggy_counter;
+use japrove_ic3::{Bmc, BmcResult, CheckOutcome, Ic3, Ic3Options};
+use japrove_sat::Budget;
+use std::time::Instant;
+
+fn main() {
+    let mut table = Table::new(
+        "Table I: counter example (time limit per engine run: 20 s)",
+        &[
+            "#bits",
+            "bmc #frames",
+            "bmc time",
+            "ic3 #frames",
+            "ic3 time",
+            "ja-local time",
+        ],
+    );
+    for bits in [4usize, 6, 8, 10, 12] {
+        let (sys, props) = buggy_counter(bits);
+        let cex_depth = (1usize << (bits - 1)) + 1;
+
+        // Global BMC on both properties (the deep one dominates).
+        let t0 = Instant::now();
+        let mut bmc = Bmc::new(&sys);
+        let budget = Budget::timeout(limits::single());
+        let mut bmc_frames = String::from("*");
+        let mut solved = 0;
+        for p in [props.p0, props.p1] {
+            match bmc.run(&[p], cex_depth + 2, budget) {
+                BmcResult::Cex { cex, .. } => {
+                    bmc_frames = format!("{}", cex.depth);
+                    solved += 1;
+                }
+                _ => break,
+            }
+        }
+        let bmc_time = if solved == 2 {
+            fmt_time(t0.elapsed())
+        } else {
+            bmc_frames = "*".into();
+            "*".into()
+        };
+
+        // Global IC3 on both properties.
+        let t0 = Instant::now();
+        let mut ic3_frames = 0usize;
+        let mut ic3_ok = true;
+        for p in [props.p0, props.p1] {
+            let opts = Ic3Options::new().budget(Budget::timeout(limits::single()));
+            let mut engine = Ic3::new(&sys, p, opts);
+            match engine.run() {
+                CheckOutcome::Falsified(_) => ic3_frames = ic3_frames.max(engine.stats().frames),
+                CheckOutcome::Proved(_) => ic3_frames = ic3_frames.max(engine.stats().frames),
+                CheckOutcome::Unknown(_) => ic3_ok = false,
+            }
+        }
+        let (ic3_frames, ic3_time) = if ic3_ok {
+            (format!("{ic3_frames}"), fmt_time(t0.elapsed()))
+        } else {
+            ("*".into(), "*".into())
+        };
+
+        // JA-verification (local proofs).
+        let t0 = Instant::now();
+        let report = ja_verify(
+            &sys,
+            &SeparateOptions::local().per_property_timeout(limits::single()),
+        );
+        let ja_time = if report.num_unsolved() == 0 {
+            fmt_time(t0.elapsed())
+        } else {
+            "*".into()
+        };
+
+        table.row(&[
+            &bits.to_string(),
+            &bmc_frames,
+            &bmc_time,
+            &ic3_frames,
+            &ic3_time,
+            &ja_time,
+        ]);
+    }
+    table.print();
+    println!("(global counterexample depth for P1 is 2^(bits-1) + 1; the local run is flat)");
+}

@@ -1,0 +1,70 @@
+//! Table III — designs with failing properties.
+//!
+//! Joint verification (with and without a BMC front-end, the latter
+//! standing in for the ABC baseline) against JA-verification with
+//! clause re-use. The paper's effect: many properties are false
+//! globally but true locally; JA finds the small debugging set quickly
+//! while joint verification spends its time computing deep
+//! counterexamples.
+
+use japrove_bench::{fmt_time, limits, Table};
+use japrove_core::{ja_verify, joint_verify, JointOptions, SeparateOptions};
+use japrove_genbench::failing_specs;
+use std::time::Instant;
+
+fn main() {
+    let mut table = Table::new(
+        "Table III: designs with failing properties",
+        &[
+            "name",
+            "#latch",
+            "#props",
+            "abc-style #false(#true)",
+            "abc-style time",
+            "joint #false(#true)",
+            "joint time",
+            "ja #false(#true)",
+            "ja time",
+            "|debug set|",
+        ],
+    );
+    for spec in failing_specs() {
+        let design = spec.generate();
+        let sys = &design.sys;
+
+        let t0 = Instant::now();
+        let abc = joint_verify(
+            sys,
+            &JointOptions::new()
+                .bmc_depth(40)
+                .total_timeout(limits::total()),
+        );
+        let abc_time = t0.elapsed();
+
+        let t0 = Instant::now();
+        let joint = joint_verify(sys, &JointOptions::new().total_timeout(limits::total()));
+        let joint_time = t0.elapsed();
+
+        let t0 = Instant::now();
+        let ja = ja_verify(
+            sys,
+            &SeparateOptions::local().per_property_timeout(limits::per_property()),
+        );
+        let ja_time = t0.elapsed();
+
+        table.row(&[
+            sys.name(),
+            &sys.num_latches().to_string(),
+            &sys.num_properties().to_string(),
+            &format!("{} ({})", abc.num_false(), abc.num_true()),
+            &fmt_time(abc_time),
+            &format!("{} ({})", joint.num_false(), joint.num_true()),
+            &fmt_time(joint_time),
+            &format!("{} ({})", ja.num_false(), ja.num_true()),
+            &fmt_time(ja_time),
+            &ja.debugging_set().len().to_string(),
+        ]);
+    }
+    table.print();
+    println!("(ja #false counts locally-failing properties: the debugging set)");
+}

@@ -1,0 +1,61 @@
+//! Table IV — designs where all properties are true.
+//!
+//! Joint verification against JA-verification with clause re-use on
+//! all-true designs. The paper's effect: joint verification is
+//! slightly ahead or comparable here (one inductive invariant proves
+//! everything at once), with JA competitive thanks to clause re-use.
+
+use japrove_bench::{fmt_time, limits, Table};
+use japrove_core::{ja_verify, joint_verify, JointOptions, SeparateOptions};
+use japrove_genbench::all_true_specs;
+use std::time::Instant;
+
+fn main() {
+    let mut table = Table::new(
+        "Table IV: all properties are true",
+        &[
+            "name",
+            "#latch",
+            "#props",
+            "abc-style time",
+            "joint time",
+            "ja #unsolved",
+            "ja time",
+        ],
+    );
+    for spec in all_true_specs() {
+        let design = spec.generate();
+        let sys = &design.sys;
+
+        let t0 = Instant::now();
+        let _abc = joint_verify(
+            sys,
+            &JointOptions::new()
+                .bmc_depth(20)
+                .total_timeout(limits::total()),
+        );
+        let abc_time = t0.elapsed();
+
+        let t0 = Instant::now();
+        let _joint = joint_verify(sys, &JointOptions::new().total_timeout(limits::total()));
+        let joint_time = t0.elapsed();
+
+        let t0 = Instant::now();
+        let ja = ja_verify(
+            sys,
+            &SeparateOptions::local().per_property_timeout(limits::per_property()),
+        );
+        let ja_time = t0.elapsed();
+
+        table.row(&[
+            sys.name(),
+            &sys.num_latches().to_string(),
+            &sys.num_properties().to_string(),
+            &fmt_time(abc_time),
+            &fmt_time(joint_time),
+            &ja.num_unsolved().to_string(),
+            &fmt_time(ja_time),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,58 @@
+//! Table VII — the benefit of clause re-use.
+//!
+//! JA-verification with and without re-using strengthening clauses on
+//! the all-true designs of Table IV. The paper's effect: re-use wins
+//! significantly except on designs with very few properties.
+
+use japrove_bench::{fmt_time, limits, Table};
+use japrove_core::{separate_verify, SeparateOptions};
+use japrove_genbench::all_true_specs;
+use std::time::Instant;
+
+fn main() {
+    let mut table = Table::new(
+        "Table VII: JA-verification with and without clause re-use",
+        &[
+            "name",
+            "#props",
+            "no-reuse #unsolved",
+            "no-reuse time",
+            "reuse #unsolved",
+            "reuse time",
+        ],
+    );
+    for spec in all_true_specs() {
+        let design = spec.generate();
+        let sys = &design.sys;
+
+        let t0 = Instant::now();
+        let without = separate_verify(
+            sys,
+            &SeparateOptions::local()
+                .reuse(false)
+                .per_property_timeout(limits::per_property())
+                .total_timeout(limits::total()),
+        );
+        let without_time = t0.elapsed();
+
+        let t0 = Instant::now();
+        let with = separate_verify(
+            sys,
+            &SeparateOptions::local()
+                .reuse(true)
+                .per_property_timeout(limits::per_property())
+                .total_timeout(limits::total()),
+        );
+        let with_time = t0.elapsed();
+
+        table.row(&[
+            sys.name(),
+            &sys.num_properties().to_string(),
+            &without.num_unsolved().to_string(),
+            &fmt_time(without_time),
+            &with.num_unsolved().to_string(),
+            &fmt_time(with_time),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,150 @@
+//! Shared harness utilities for the table-regeneration binaries.
+//!
+//! Each `table*` binary reproduces one table of the paper at laptop
+//! scale; this library provides the common table formatting, timing
+//! helpers and scaled-down time limits.
+
+use std::time::Duration;
+
+/// Formats a duration the way the paper's tables do: seconds below an
+/// hour, hours above.
+///
+/// # Examples
+///
+/// ```
+/// use japrove_bench::fmt_time;
+/// use std::time::Duration;
+/// assert_eq!(fmt_time(Duration::from_millis(2500)), "2.50 s");
+/// assert_eq!(fmt_time(Duration::from_secs(7200)), "2.00 h");
+/// ```
+pub fn fmt_time(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs >= 3600.0 {
+        format!("{:.2} h", secs / 3600.0)
+    } else if secs >= 100.0 {
+        format!("{:.0} s", secs)
+    } else {
+        format!("{:.2} s", secs)
+    }
+}
+
+/// A plain-text table printer with right-aligned columns.
+///
+/// # Examples
+///
+/// ```
+/// use japrove_bench::Table;
+/// let mut t = Table::new("demo", &["name", "time"]);
+/// t.row(&["a", "1.0 s"]);
+/// let out = t.render();
+/// assert!(out.contains("name"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(cells.len(), self.headers.len(), "cell count mismatch");
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Renders the table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+        println!();
+    }
+}
+
+/// Scaled-down stand-ins for the paper's wall-clock limits.
+pub mod limits {
+    use std::time::Duration;
+
+    /// Stand-in for the paper's 10-hour total limit per benchmark.
+    pub fn total() -> Duration {
+        Duration::from_secs(60)
+    }
+
+    /// Stand-in for the per-property limits (0.3 h .. 2.8 h).
+    pub fn per_property() -> Duration {
+        Duration::from_secs(5)
+    }
+
+    /// Stand-in for Table I's 1-hour-per-instance limit.
+    pub fn single() -> Duration {
+        Duration::from_secs(20)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rendering_aligns() {
+        let mut t = Table::new("t", &["a", "bbbb"]);
+        t.row(&["xxx", "1"]);
+        let r = t.render();
+        assert!(r.contains("== t =="));
+        assert!(r.lines().count() >= 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count mismatch")]
+    fn wrong_cell_count_panics() {
+        let mut t = Table::new("t", &["a"]);
+        t.row(&["x", "y"]);
+    }
+
+    #[test]
+    fn time_formats() {
+        assert_eq!(fmt_time(Duration::from_millis(10)), "0.01 s");
+        assert_eq!(fmt_time(Duration::from_secs(120)), "120 s");
+    }
+}

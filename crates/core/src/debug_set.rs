@@ -1,0 +1,200 @@
+//! Debugging-set guarantees (Propositions 2–6) as runtime checks.
+//!
+//! These validators re-check, on the concrete netlist, the claims
+//! JA-verification makes about its output. They are used throughout
+//! the test suite and exposed publicly so downstream users can audit
+//! runs of their own designs.
+
+use crate::{MultiReport, Scope};
+use japrove_ic3::TsEncoding;
+use japrove_logic::Clause;
+use japrove_sat::{SolveResult, Solver};
+use japrove_tsys::{replay, PropertyId, TransitionSystem};
+
+/// Validates every local counterexample of a JA-verification report:
+///
+/// * the trace replays on the netlist (valid initialized trace),
+/// * its final state falsifies the reported property,
+/// * no ETH property is violated *before* the final state — the
+///   defining guarantee of the debugging set (Prop. 6): a debugging-set
+///   failure is not preceded by any other property failure.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violated
+/// guarantee.
+pub fn validate_debugging_set(
+    sys: &TransitionSystem,
+    report: &MultiReport,
+    assumed: &[PropertyId],
+) -> Result<(), String> {
+    for result in &report.results {
+        if result.scope != Scope::Local || !result.fails() {
+            continue;
+        }
+        let cex = result.counterexample().expect("failing result has a cex");
+        let r = replay(sys, &cex.trace).map_err(|e| format!("{}: replay failed: {e}", result.name))?;
+        if !r.violates_finally(result.id) {
+            return Err(format!(
+                "{}: final state does not falsify the property",
+                result.name
+            ));
+        }
+        for k in 0..cex.trace.len() {
+            if let Some(&p) = r.violated_at(k).iter().find(|p| assumed.contains(p)) {
+                return Err(format!(
+                    "{}: assumed property {p} violated at step {k} (before the final state)",
+                    result.name
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks Proposition 5 on a pair of reports for the same design: if
+/// every property holds locally, every property must hold globally.
+///
+/// # Errors
+///
+/// Returns a description of the disagreement, if any.
+pub fn check_local_global_agreement(
+    local: &MultiReport,
+    global: &MultiReport,
+) -> Result<(), String> {
+    let all_local_hold = local.results.iter().all(|r| r.holds());
+    if !all_local_hold {
+        return Ok(()); // Prop. 5 only speaks about the all-hold case.
+    }
+    for r in &global.results {
+        if r.fails() {
+            return Err(format!(
+                "{}: holds locally everywhere but fails globally — contradicts Prop. 5",
+                r.name
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Verifies that a set of clauses (e.g. a [`crate::ClauseDb`]
+/// snapshot) is a *sound re-use set*: the conjunction holds initially
+/// and is inductive under the design constraints and the assumed
+/// properties. Every clause of such a set holds in all reachable
+/// states of the (projected) system, which is the §6-B condition for
+/// seeding IC3 frames.
+///
+/// # Errors
+///
+/// Returns the index of the first clause violating a condition.
+pub fn verify_reuse_soundness(
+    sys: &TransitionSystem,
+    assumed: &[PropertyId],
+    clauses: &[Clause],
+) -> Result<(), String> {
+    let enc = TsEncoding::new(sys);
+    for (i, clause) in clauses.iter().enumerate() {
+        let init_ok = clause
+            .lits()
+            .iter()
+            .any(|&l| enc.init_lits()[l.var().index() as usize] == l);
+        if !init_ok {
+            return Err(format!("clause {i} violated by the initial state"));
+        }
+    }
+    let mut solver = Solver::new();
+    enc.load_into(&mut solver);
+    for clause in clauses {
+        solver.add_clause(clause.lits().iter().copied());
+    }
+    for &c in enc.constraint_lits() {
+        solver.add_clause([c]);
+    }
+    let assumed_lits: Vec<_> = assumed.iter().map(|&p| enc.good_lit(p)).collect();
+    for (i, clause) in clauses.iter().enumerate() {
+        let mut assumptions = assumed_lits.clone();
+        for &l in clause.lits() {
+            assumptions.push(!enc.primed(l));
+        }
+        if solver.solve(&assumptions) == SolveResult::Sat {
+            return Err(format!("clause {i} is not inductive relative to the set"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ja_verify, separate_verify, SeparateOptions};
+    use japrove_aig::Aig;
+    use japrove_tsys::Word;
+
+    /// Two-counter design: counter A must stay below 3 (fails at depth
+    /// 3); counter B's property "B < 12" fails only after A's property
+    /// already failed (B counts only while A >= 3 is impossible...
+    /// simpler: B counts only when A is saturated).
+    fn shadowed() -> TransitionSystem {
+        let mut aig = Aig::new();
+        let a = Word::latches(&mut aig, 3, 0);
+        let a_next = a.increment(&mut aig);
+        let a_sat = a.eq_const(&mut aig, 7);
+        let hold = Word::mux(&mut aig, a_sat, &a, &a_next);
+        a.set_next(&mut aig, &hold);
+        // b increments only once a == 7.
+        let b = Word::latches(&mut aig, 3, 0);
+        let b_next = b.increment(&mut aig);
+        let b_upd = Word::mux(&mut aig, a_sat, &b_next, &b);
+        b.set_next(&mut aig, &b_upd);
+        let pa = a.lt_const(&mut aig, 3);
+        let pb = b.lt_const(&mut aig, 4);
+        let mut sys = TransitionSystem::new("shadowed", aig);
+        sys.add_property("a_lt3", pa);
+        sys.add_property("b_lt4", pb);
+        sys
+    }
+
+    #[test]
+    fn debugging_set_guarantees_hold() {
+        let sys = shadowed();
+        let opts = SeparateOptions::local();
+        let report = ja_verify(&sys, &opts);
+        let assumed = crate::local_assumptions(&sys);
+        // Only a_lt3 is in the debugging set: every CEX of b_lt4 first
+        // violates a_lt3.
+        assert_eq!(report.debugging_set().len(), 1);
+        validate_debugging_set(&sys, &report, &assumed).expect("guarantees");
+    }
+
+    #[test]
+    fn local_global_agreement_on_safe_design() {
+        let mut aig = Aig::new();
+        let c = Word::latches(&mut aig, 3, 0);
+        let n = c.increment(&mut aig);
+        c.set_next(&mut aig, &n);
+        let p1 = c.lt_const(&mut aig, 8);
+        let p2 = c.le_const(&mut aig, 7);
+        let mut sys = TransitionSystem::new("safe", aig);
+        sys.add_property("lt8", p1);
+        sys.add_property("le7", p2);
+        let local = ja_verify(&sys, &SeparateOptions::local());
+        let global = separate_verify(&sys, &SeparateOptions::global());
+        assert_eq!(local.num_true(), 2);
+        check_local_global_agreement(&local, &global).expect("prop 5");
+    }
+
+    #[test]
+    fn reuse_db_is_sound_after_ja() {
+        let sys = shadowed();
+        let report = ja_verify(&sys, &SeparateOptions::local());
+        let assumed = crate::local_assumptions(&sys);
+        // Re-derive the clause DB from the certificates in the report.
+        let db = crate::ClauseDb::new();
+        for r in &report.results {
+            if let Some(cert) = r.outcome.certificate() {
+                db.publish(cert.clauses.iter().cloned());
+            }
+        }
+        verify_reuse_soundness(&sys, &assumed, &db.snapshot()).expect("sound reuse set");
+    }
+}

@@ -1,0 +1,237 @@
+//! Joint verification: the aggregate-property baseline (Jnt-ver, §9).
+//!
+//! Conjoins all unsolved properties into one aggregate property and
+//! model-checks it. If the aggregate fails, the counterexample refutes
+//! the properties violated by its final state; those are removed and
+//! the loop restarts with a new aggregate — exactly the Jnt-ver script
+//! of the paper. Optionally a BMC front-end runs first (our stand-in
+//! for the ABC baseline configuration of Tables I, III and IV).
+
+use crate::{MultiReport, PropertyResult, Scope};
+use japrove_aig::AigLit;
+use japrove_ic3::{Bmc, BmcResult, CheckOutcome, Ic3, Ic3Options, UnknownReason};
+use japrove_sat::Budget;
+use japrove_tsys::{replay, PropertyId, TransitionSystem};
+use std::time::{Duration, Instant};
+
+/// Options for joint verification.
+///
+/// # Examples
+///
+/// ```
+/// use japrove_core::JointOptions;
+/// use std::time::Duration;
+///
+/// let opts = JointOptions::new().total_timeout(Duration::from_secs(5));
+/// assert!(opts.total.is_some());
+/// ```
+#[derive(Clone, Debug)]
+pub struct JointOptions {
+    /// Total wall-clock limit for the whole benchmark.
+    pub total: Option<Duration>,
+    /// Base engine options for the aggregate runs.
+    pub ic3: Ic3Options,
+    /// Run BMC up to this depth before IC3 in each iteration
+    /// (`None` disables the portfolio; this models the ABC joint
+    /// baseline which interleaves `bmc` and `pdr`).
+    pub bmc_depth: Option<usize>,
+    /// Verify only these properties (`None` = all), e.g. the "first k
+    /// properties" experiments of Table II.
+    pub subset: Option<Vec<PropertyId>>,
+}
+
+impl JointOptions {
+    /// Pure IC3 joint verification (the paper's Jnt-ver).
+    pub fn new() -> Self {
+        JointOptions {
+            total: None,
+            ic3: Ic3Options::new(),
+            bmc_depth: None,
+            subset: None,
+        }
+    }
+
+    /// Restricts verification to the given properties.
+    pub fn subset(mut self, props: Vec<PropertyId>) -> Self {
+        self.subset = Some(props);
+        self
+    }
+
+    /// Sets the total time limit.
+    pub fn total_timeout(mut self, d: Duration) -> Self {
+        self.total = Some(d);
+        self
+    }
+
+    /// Enables the BMC front-end up to the given depth.
+    pub fn bmc_depth(mut self, depth: usize) -> Self {
+        self.bmc_depth = Some(depth);
+        self
+    }
+
+    /// Sets the base engine options.
+    pub fn ic3(mut self, ic3: Ic3Options) -> Self {
+        self.ic3 = ic3;
+        self
+    }
+}
+
+impl Default for JointOptions {
+    fn default() -> Self {
+        JointOptions::new()
+    }
+}
+
+/// Builds a copy of `sys` with one extra property: the conjunction of
+/// the given properties (the aggregate property `P = P1 & ... & Pk`).
+fn aggregate_system(sys: &TransitionSystem, props: &[PropertyId]) -> (TransitionSystem, PropertyId) {
+    let mut agg = sys.clone();
+    let goods: Vec<AigLit> = props.iter().map(|&p| agg.property(p).good).collect();
+    let all = agg.aig_mut().and_many(goods);
+    let id = agg.add_property("aggregate", all);
+    (agg, id)
+}
+
+/// Runs joint verification (Jnt-ver): verify the aggregate property,
+/// refute the properties its counterexample falsifies, re-iterate.
+///
+/// # Examples
+///
+/// ```
+/// use japrove_aig::Aig;
+/// use japrove_core::{joint_verify, JointOptions};
+/// use japrove_tsys::{TransitionSystem, Word};
+///
+/// let mut aig = Aig::new();
+/// let c = Word::latches(&mut aig, 3, 0);
+/// let n = c.increment(&mut aig);
+/// c.set_next(&mut aig, &n);
+/// let ok = c.lt_const(&mut aig, 8);
+/// let bad = c.lt_const(&mut aig, 4);
+/// let mut sys = TransitionSystem::new("cnt", aig);
+/// sys.add_property("in_range", ok);
+/// sys.add_property("lt4", bad);
+/// let report = joint_verify(&sys, &JointOptions::new());
+/// assert_eq!(report.num_true(), 1);
+/// assert_eq!(report.num_false(), 1);
+/// ```
+pub fn joint_verify(sys: &TransitionSystem, opts: &JointOptions) -> MultiReport {
+    let started = Instant::now();
+    let deadline = opts.total.map(|d| Instant::now() + d);
+    let mut report = MultiReport::new(
+        sys.name(),
+        if opts.bmc_depth.is_some() {
+            "joint (bmc+ic3)"
+        } else {
+            "joint"
+        },
+    );
+    let mut remaining: Vec<PropertyId> = opts
+        .subset
+        .clone()
+        .unwrap_or_else(|| sys.property_ids().collect());
+
+    let push_result = |report: &mut MultiReport,
+                       id: PropertyId,
+                       outcome: CheckOutcome,
+                       frames: usize,
+                       t0: Instant| {
+        report.results.push(PropertyResult {
+            id,
+            name: sys.property(id).name.clone(),
+            outcome,
+            scope: Scope::Global,
+            time: t0.elapsed(),
+            frames,
+            retried: false,
+        });
+    };
+
+    while !remaining.is_empty() {
+        let iteration_start = Instant::now();
+        if deadline.map_or(false, |d| Instant::now() >= d) {
+            for id in remaining.drain(..) {
+                push_result(
+                    &mut report,
+                    id,
+                    CheckOutcome::Unknown(UnknownReason::Budget),
+                    0,
+                    iteration_start,
+                );
+            }
+            break;
+        }
+        let mut budget = Budget::unlimited();
+        if let Some(d) = deadline {
+            budget = budget.with_deadline(d);
+        }
+        let (agg, agg_id) = aggregate_system(sys, &remaining);
+
+        // Optional BMC front-end for shallow refutations.
+        let mut outcome = None;
+        if let Some(depth) = opts.bmc_depth {
+            let mut bmc = Bmc::new(&agg);
+            match bmc.run(&[agg_id], depth, budget) {
+                BmcResult::Cex { cex, .. } => {
+                    outcome = Some(CheckOutcome::Falsified(cex));
+                }
+                BmcResult::NoCexUpTo(_) => {}
+                BmcResult::Unknown(r) => outcome = Some(CheckOutcome::Unknown(r)),
+            }
+        }
+        let (outcome, frames) = match outcome {
+            Some(o) => (o, 0),
+            None => {
+                let mut engine = Ic3::new(&agg, agg_id, opts.ic3.budget(budget));
+                let o = engine.run();
+                (o, engine.stats().frames)
+            }
+        };
+
+        match outcome {
+            CheckOutcome::Proved(cert) => {
+                for id in remaining.drain(..) {
+                    push_result(
+                        &mut report,
+                        id,
+                        CheckOutcome::Proved(cert.clone()),
+                        frames,
+                        iteration_start,
+                    );
+                }
+            }
+            CheckOutcome::Unknown(r) => {
+                for id in remaining.drain(..) {
+                    push_result(&mut report, id, CheckOutcome::Unknown(r), frames, iteration_start);
+                }
+            }
+            CheckOutcome::Falsified(cex) => {
+                // Replay on the original system to see which properties
+                // the final state falsifies.
+                let r = replay(sys, &cex.trace).expect("aggregate traces replay on the design");
+                let final_step = cex.trace.len();
+                let falsified: Vec<PropertyId> = remaining
+                    .iter()
+                    .copied()
+                    .filter(|p| r.violated_at(final_step).contains(p))
+                    .collect();
+                assert!(
+                    !falsified.is_empty(),
+                    "aggregate counterexample falsifies no property"
+                );
+                for &id in &falsified {
+                    push_result(
+                        &mut report,
+                        id,
+                        CheckOutcome::Falsified(cex.clone()),
+                        frames,
+                        iteration_start,
+                    );
+                }
+                remaining.retain(|p| !falsified.contains(p));
+            }
+        }
+    }
+    report.total_time = started.elapsed();
+    report
+}

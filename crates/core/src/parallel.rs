@@ -1,0 +1,104 @@
+//! Parallel JA-verification (§11).
+//!
+//! Properties are independent jobs under JA-verification, so they can
+//! be farmed out to worker threads; the shared [`ClauseDb`] provides
+//! the (optional) exchange of strengthening clauses. The paper argues
+//! that the larger the property set, the *less* information exchange
+//! matters — local proofs get easier with more constraints — which is
+//! what makes the parallelization embarrassing.
+
+use crate::separate::{check_one, local_assumptions};
+use crate::{MultiReport, Scope, SeparateOptions};
+use crate::ClauseDb;
+use japrove_ic3::CheckOutcome;
+use japrove_tsys::{PropertyId, TransitionSystem};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Runs JA-verification with `threads` worker threads.
+///
+/// Behaviourally equivalent to [`crate::ja_verify`] (same verdicts);
+/// clause re-use becomes best-effort: each property sees the clauses
+/// published before its own run started.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use japrove_aig::Aig;
+/// use japrove_core::{parallel_ja_verify, SeparateOptions};
+/// use japrove_tsys::{TransitionSystem, Word};
+///
+/// let mut aig = Aig::new();
+/// let c = Word::latches(&mut aig, 4, 0);
+/// let n = c.increment(&mut aig);
+/// c.set_next(&mut aig, &n);
+/// let ok = c.lt_const(&mut aig, 16);
+/// let mut sys = TransitionSystem::new("cnt", aig);
+/// sys.add_property("in_range", ok);
+/// let report = parallel_ja_verify(&sys, 2, &SeparateOptions::local());
+/// assert_eq!(report.num_true(), 1);
+/// ```
+pub fn parallel_ja_verify(
+    sys: &TransitionSystem,
+    threads: usize,
+    opts: &SeparateOptions,
+) -> MultiReport {
+    assert!(threads > 0, "need at least one worker thread");
+    let started = Instant::now();
+    let mut opts = opts.clone();
+    opts.scope = Scope::Local;
+    let deadline = opts.total.map(|d| Instant::now() + d);
+    let assumed = local_assumptions(sys);
+    let order: Vec<PropertyId> = opts
+        .order
+        .clone()
+        .unwrap_or_else(|| sys.property_ids().collect());
+    let db = ClauseDb::new();
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<crate::PropertyResult>> = vec![None; order.len()];
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..threads.min(order.len().max(1)) {
+            let order = &order;
+            let assumed = &assumed;
+            let next = &next;
+            let db = db.clone();
+            let opts = &opts;
+            handles.push(scope.spawn(move |_| {
+                let mut mine = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::SeqCst);
+                    if i >= order.len() {
+                        return mine;
+                    }
+                    let result = check_one(sys, order[i], assumed, &db, opts, deadline);
+                    if opts.reuse {
+                        if let CheckOutcome::Proved(cert) = &result.outcome {
+                            db.publish(cert.clauses.iter().cloned());
+                        }
+                    }
+                    mine.push((i, result));
+                }
+            }));
+        }
+        for h in handles {
+            for (i, result) in h.join().expect("worker thread panicked") {
+                slots[i] = Some(result);
+            }
+        }
+    })
+    .expect("thread scope");
+
+    let mut report = MultiReport::new(sys.name(), format!("parallel-ja x{threads}"));
+    report.results = slots
+        .into_iter()
+        .map(|s| s.expect("every property processed"))
+        .collect();
+    report.total_time = started.elapsed();
+    report
+}

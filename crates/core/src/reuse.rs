@@ -1,0 +1,145 @@
+//! The clause database of §7-B (`clauseDB`).
+//!
+//! Ja-ver maintains an external store of strengthening clauses: after
+//! property `P1` is made inductive, the clauses of `G_P1` are recorded;
+//! a later proof of `P2` initializes its frames with them, and appends
+//! its own `G_P2`. Every clause in the store holds in all states
+//! reachable under the (projected) transition relation, which is
+//! exactly the soundness condition for seeding IC3 frames (§6-B).
+
+use japrove_logic::Clause;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A shared, thread-safe store of strengthening clauses.
+///
+/// Clones share the same underlying store, so the sequential and the
+/// parallel JA drivers use the same type.
+///
+/// # Examples
+///
+/// ```
+/// use japrove_core::ClauseDb;
+/// use japrove_logic::{Clause, Var};
+///
+/// let db = ClauseDb::new();
+/// db.publish([Clause::unit(Var::new(0).neg())]);
+/// assert_eq!(db.len(), 1);
+/// let clone = db.clone();
+/// assert_eq!(clone.len(), 1); // shared
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ClauseDb {
+    clauses: Arc<Mutex<Vec<Clause>>>,
+}
+
+impl ClauseDb {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ClauseDb::default()
+    }
+
+    /// Appends clauses, dropping duplicates and clauses subsumed by an
+    /// existing entry. Returns how many were actually added.
+    pub fn publish<I: IntoIterator<Item = Clause>>(&self, clauses: I) -> usize {
+        let mut store = self.clauses.lock();
+        let mut added = 0;
+        for clause in clauses {
+            let normalized = match clause.normalized() {
+                Some(n) => n,
+                None => continue, // tautology carries no information
+            };
+            if store.iter().any(|c| c.subsumes_sorted(&normalized)) {
+                continue;
+            }
+            // Remove entries the new clause subsumes.
+            store.retain(|c| !normalized.subsumes_sorted(c));
+            store.push(normalized);
+            added += 1;
+        }
+        added
+    }
+
+    /// A snapshot of the current clauses.
+    pub fn snapshot(&self) -> Vec<Clause> {
+        self.clauses.lock().clone()
+    }
+
+    /// Number of stored clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.lock().len()
+    }
+
+    /// `true` if the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.lock().is_empty()
+    }
+
+    /// Clears the store.
+    pub fn clear(&self) {
+        self.clauses.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use japrove_logic::Var;
+
+    fn clause(lits: &[(u32, bool)]) -> Clause {
+        Clause::from_lits(lits.iter().map(|&(v, n)| Var::new(v).lit(n)))
+    }
+
+    #[test]
+    fn deduplicates() {
+        let db = ClauseDb::new();
+        assert_eq!(db.publish([clause(&[(0, true)]), clause(&[(0, true)])]), 1);
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn subsumption_both_directions() {
+        let db = ClauseDb::new();
+        db.publish([clause(&[(0, true), (1, false)])]);
+        // A stronger clause replaces the weaker one.
+        assert_eq!(db.publish([clause(&[(0, true)])]), 1);
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.snapshot()[0].len(), 1);
+        // A weaker clause is not added.
+        assert_eq!(db.publish([clause(&[(0, true), (2, false)])]), 0);
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn tautologies_dropped() {
+        let db = ClauseDb::new();
+        assert_eq!(db.publish([clause(&[(0, true), (0, false)])]), 0);
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let db = ClauseDb::new();
+        let other = db.clone();
+        db.publish([clause(&[(3, false)])]);
+        assert_eq!(other.len(), 1);
+        other.clear();
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn concurrent_publish() {
+        let db = ClauseDb::new();
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let db = db.clone();
+                s.spawn(move || {
+                    for i in 0..50u32 {
+                        db.publish([clause(&[(t * 100 + i, i % 2 == 0)])]);
+                    }
+                });
+            }
+        });
+        assert_eq!(db.len(), 200);
+    }
+}

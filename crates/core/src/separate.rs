@@ -1,0 +1,276 @@
+//! Separate verification: one engine run per property (§4, §9).
+//!
+//! Covers both variants compared in the paper: *global* proofs (no
+//! assumptions) and *local* proofs (JA-verification, where every
+//! Expected-To-Hold property is assumed in non-final states), each
+//! with or without clause re-use.
+
+use crate::{ClauseDb, MultiReport, PropertyResult, Scope};
+use japrove_ic3::{CheckOutcome, Ic3, Ic3Options, Lifting};
+use japrove_sat::Budget;
+use japrove_tsys::{replay, Expectation, PropertyId, TransitionSystem};
+use std::time::{Duration, Instant};
+
+/// Options for separate verification.
+///
+/// # Examples
+///
+/// ```
+/// use japrove_core::{Scope, SeparateOptions};
+/// use std::time::Duration;
+///
+/// let opts = SeparateOptions::local()
+///     .per_property_timeout(Duration::from_secs(1))
+///     .reuse(true);
+/// assert_eq!(opts.scope, Scope::Local);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SeparateOptions {
+    /// Proof scope: local realizes JA-verification.
+    pub scope: Scope,
+    /// Re-use strengthening clauses across properties (§6).
+    pub reuse: bool,
+    /// Lifting mode for local proofs (§7-A).
+    pub lifting: Lifting,
+    /// Per-property wall-clock limit (the "time limit" column of the
+    /// paper's tables).
+    pub per_property: Option<Duration>,
+    /// Total wall-clock limit for the whole benchmark.
+    pub total: Option<Duration>,
+    /// Base engine options.
+    pub ic3: Ic3Options,
+    /// Property order; `None` uses declaration order (the paper's
+    /// default: "properties are verified in the order they are given").
+    pub order: Option<Vec<PropertyId>>,
+}
+
+impl SeparateOptions {
+    /// Local proofs with clause re-use: the full JA-verification setup.
+    pub fn local() -> Self {
+        SeparateOptions {
+            scope: Scope::Local,
+            reuse: true,
+            lifting: Lifting::Ignore,
+            per_property: None,
+            total: None,
+            ic3: Ic3Options::new(),
+            order: None,
+        }
+    }
+
+    /// Global proofs with clause re-use (the "separate verification
+    /// with global proofs" baseline of Tables V/VI).
+    pub fn global() -> Self {
+        SeparateOptions {
+            scope: Scope::Global,
+            ..SeparateOptions::local()
+        }
+    }
+
+    /// Sets the per-property time limit.
+    pub fn per_property_timeout(mut self, d: Duration) -> Self {
+        self.per_property = Some(d);
+        self
+    }
+
+    /// Sets the total time limit.
+    pub fn total_timeout(mut self, d: Duration) -> Self {
+        self.total = Some(d);
+        self
+    }
+
+    /// Enables or disables clause re-use.
+    pub fn reuse(mut self, yes: bool) -> Self {
+        self.reuse = yes;
+        self
+    }
+
+    /// Sets the lifting mode.
+    pub fn lifting(mut self, lifting: Lifting) -> Self {
+        self.lifting = lifting;
+        self
+    }
+
+    /// Sets a property order.
+    pub fn order(mut self, order: Vec<PropertyId>) -> Self {
+        self.order = Some(order);
+        self
+    }
+
+    /// Sets the base engine options.
+    pub fn ic3(mut self, ic3: Ic3Options) -> Self {
+        self.ic3 = ic3;
+        self
+    }
+}
+
+impl Default for SeparateOptions {
+    fn default() -> Self {
+        SeparateOptions::local()
+    }
+}
+
+/// The assumption set for local proofs: every Expected-To-Hold
+/// property (§5 — ETF properties are never assumed, so their
+/// counterexamples are not suppressed).
+pub fn local_assumptions(sys: &TransitionSystem) -> Vec<PropertyId> {
+    sys.property_ids()
+        .filter(|&p| sys.property(p).expectation == Expectation::Hold)
+        .collect()
+}
+
+/// Checks one property in the given context, handling the spurious-
+/// counterexample retry of §7-A. Used by both the sequential and the
+/// parallel drivers.
+pub(crate) fn check_one(
+    sys: &TransitionSystem,
+    id: PropertyId,
+    assumed: &[PropertyId],
+    db: &ClauseDb,
+    opts: &SeparateOptions,
+    deadline: Option<Instant>,
+) -> PropertyResult {
+    let started = Instant::now();
+    let mut budget = Budget::unlimited();
+    if let Some(d) = opts.per_property {
+        budget = budget.with_timeout(d);
+    }
+    if let Some(d) = deadline {
+        budget = budget.with_deadline(d);
+    }
+    let imported = if opts.reuse { db.snapshot() } else { Vec::new() };
+    let base = opts
+        .ic3
+        .lifting(opts.lifting)
+        .budget(budget);
+    let mut engine = Ic3::with_context(sys, id, base, assumed.to_vec(), imported.clone());
+    let mut outcome = engine.run();
+    let mut frames = engine.stats().frames;
+    let mut retried = false;
+
+    // Spurious-CEX detection for local proofs with ignore-mode lifting:
+    // the materialized trace is always a real trace of T, but its
+    // prefix may violate an assumed property — then it is not a trace
+    // of T^P and the property must be re-checked with lifting that
+    // respects the constraints (§7-A).
+    if opts.scope == Scope::Local && opts.lifting == Lifting::Ignore {
+        if let CheckOutcome::Falsified(cex) = &outcome {
+            let r = replay(sys, &cex.trace).expect("engine traces replay");
+            let spurious = (0..cex.trace.len()).any(|k| {
+                r.violated_at(k).iter().any(|p| assumed.contains(p))
+            });
+            if spurious {
+                retried = true;
+                let strict = base.lifting(Lifting::Respect);
+                let mut engine =
+                    Ic3::with_context(sys, id, strict, assumed.to_vec(), imported);
+                outcome = engine.run();
+                frames = engine.stats().frames;
+            }
+        }
+    }
+
+    PropertyResult {
+        id,
+        name: sys.property(id).name.clone(),
+        outcome,
+        scope: opts.scope,
+        time: started.elapsed(),
+        frames,
+        retried,
+    }
+}
+
+/// Checks a single property in an explicit context: assumption set,
+/// clause store and options. Exposed for custom drivers (e.g. the
+/// per-property probes of Table X); [`separate_verify`] is the
+/// standard entry point.
+pub fn check_one_property(
+    sys: &TransitionSystem,
+    id: PropertyId,
+    assumed: &[PropertyId],
+    db: &ClauseDb,
+    opts: &SeparateOptions,
+    deadline: Option<Instant>,
+) -> PropertyResult {
+    check_one(sys, id, assumed, db, opts, deadline)
+}
+
+/// Runs separate verification over all properties.
+///
+/// With [`Scope::Local`] this is **JA-verification**: each property is
+/// checked under the (possibly wrong) assumption that every ETH
+/// property holds; the locally-failing properties form the debugging
+/// set. With [`Scope::Global`] it is the plain one-property-at-a-time
+/// baseline of Tables V/VI.
+///
+/// # Examples
+///
+/// ```
+/// use japrove_aig::Aig;
+/// use japrove_core::{separate_verify, SeparateOptions};
+/// use japrove_tsys::{TransitionSystem, Word};
+///
+/// let mut aig = Aig::new();
+/// let c = Word::latches(&mut aig, 4, 0);
+/// let n = c.increment(&mut aig);
+/// c.set_next(&mut aig, &n);
+/// let ok = c.lt_const(&mut aig, 16);
+/// let mut sys = TransitionSystem::new("cnt", aig);
+/// sys.add_property("in_range", ok);
+/// let report = separate_verify(&sys, &SeparateOptions::local());
+/// assert_eq!(report.num_true(), 1);
+/// ```
+pub fn separate_verify(sys: &TransitionSystem, opts: &SeparateOptions) -> MultiReport {
+    let started = Instant::now();
+    let deadline = opts.total.map(|d| Instant::now() + d);
+    let assumed = match opts.scope {
+        Scope::Local => local_assumptions(sys),
+        Scope::Global => Vec::new(),
+    };
+    let order: Vec<PropertyId> = opts
+        .order
+        .clone()
+        .unwrap_or_else(|| sys.property_ids().collect());
+    let db = ClauseDb::new();
+    let method = match (opts.scope, opts.reuse) {
+        (Scope::Local, true) => "ja-verification",
+        (Scope::Local, false) => "ja-verification (no reuse)",
+        (Scope::Global, true) => "separate-global",
+        (Scope::Global, false) => "separate-global (no reuse)",
+    };
+    let mut report = MultiReport::new(sys.name(), method);
+    for id in order {
+        if deadline.map_or(false, |d| Instant::now() >= d) {
+            report.results.push(PropertyResult {
+                id,
+                name: sys.property(id).name.clone(),
+                outcome: CheckOutcome::Unknown(japrove_ic3::UnknownReason::Budget),
+                scope: opts.scope,
+                time: Duration::ZERO,
+                frames: 0,
+                retried: false,
+            });
+            continue;
+        }
+        let result = check_one(sys, id, &assumed, &db, opts, deadline);
+        if opts.reuse {
+            if let CheckOutcome::Proved(cert) = &result.outcome {
+                db.publish(cert.clauses.iter().cloned());
+            }
+        }
+        report.results.push(result);
+    }
+    report.total_time = started.elapsed();
+    report
+}
+
+/// JA-verification (§4): separate verification with local proofs and
+/// clause re-use. Equivalent to
+/// `separate_verify(sys, &SeparateOptions::local())` but makes call
+/// sites read like the paper.
+pub fn ja_verify(sys: &TransitionSystem, opts: &SeparateOptions) -> MultiReport {
+    let mut opts = opts.clone();
+    opts.scope = Scope::Local;
+    separate_verify(sys, &opts)
+}

@@ -1,0 +1,105 @@
+//! The buggy counter of the paper's Example 1.
+
+use japrove_aig::Aig;
+use japrove_tsys::{PropertyId, TransitionSystem, Word};
+
+/// The two properties of the Example-1 counter.
+#[derive(Clone, Copy, Debug)]
+pub struct CounterProps {
+    /// `P0: assert property (req == 1)` — fails globally in every time
+    /// frame (and locally: it is the debugging set).
+    pub p0: PropertyId,
+    /// `P1: assert property (val <= rval)` — fails globally with a
+    /// counterexample of length `rval + 1`, but holds locally under
+    /// the assumption `P0 == 1`.
+    pub p1: PropertyId,
+}
+
+/// Builds the Verilog counter of Example 1 at the given width.
+///
+/// The counter increments while `enable` is set; the *buggy* reset
+/// logic only clears it at `rval = 1 << (bits - 1)` when `req` is also
+/// set, so `val` can overshoot `rval`.
+///
+/// # Panics
+///
+/// Panics if `bits < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use japrove_genbench::buggy_counter;
+/// let (sys, props) = buggy_counter(8);
+/// assert_eq!(sys.num_properties(), 2);
+/// assert_eq!(sys.property(props.p0).name, "P0_req_high");
+/// ```
+pub fn buggy_counter(bits: usize) -> (TransitionSystem, CounterProps) {
+    assert!(bits >= 2, "counter needs at least 2 bits");
+    let mut aig = Aig::new();
+    let enable = aig.add_input();
+    let req = aig.add_input();
+    let rval = 1u64 << (bits - 1);
+    let val = Word::latches(&mut aig, bits, 0);
+    let at_rval = val.eq_const(&mut aig, rval);
+    // Buggy line: reset = ((val == rval) && req) — should not need req.
+    let reset = aig.and(at_rval, req);
+    let inc = val.increment(&mut aig);
+    let zero = Word::constant(&mut aig, 0, bits);
+    let updated = Word::mux(&mut aig, reset, &zero, &inc);
+    let next = Word::mux(&mut aig, enable, &updated, &val);
+    val.set_next(&mut aig, &next);
+    let le_rval = val.le_const(&mut aig, rval);
+    let mut sys = TransitionSystem::new(format!("counter{bits}"), aig);
+    let p0 = sys.add_property("P0_req_high", req);
+    let p1 = sys.add_property("P1_val_le_rval", le_rval);
+    (sys, CounterProps { p0, p1 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use japrove_aig::Simulator;
+
+    #[test]
+    fn overshoots_rval_without_req() {
+        let (sys, _) = buggy_counter(4);
+        let aig = sys.aig();
+        let mut sim = Simulator::new(aig);
+        // enable=1, req=0 for 9 cycles: val reaches 9 > rval=8.
+        for _ in 0..9 {
+            sim.step(aig, &[u64::MAX, 0]);
+        }
+        let val: u64 = sim
+            .state()
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (w & 1) << i)
+            .sum();
+        assert_eq!(val, 9);
+    }
+
+    #[test]
+    fn resets_at_rval_with_req() {
+        let (sys, _) = buggy_counter(4);
+        let aig = sys.aig();
+        let mut sim = Simulator::new(aig);
+        for _ in 0..8 {
+            sim.step(aig, &[u64::MAX, u64::MAX]);
+        }
+        // val hit rval=8 and resets on the next enabled cycle.
+        sim.step(aig, &[u64::MAX, u64::MAX]);
+        let val: u64 = sim
+            .state()
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (w & 1) << i)
+            .sum();
+        assert_eq!(val, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 bits")]
+    fn tiny_counter_rejected() {
+        let _ = buggy_counter(1);
+    }
+}

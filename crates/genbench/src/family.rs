@@ -1,0 +1,509 @@
+//! Synthetic multi-property design families.
+//!
+//! Stand-ins for the HWMCC'12/13 multi-property benchmarks used in the
+//! paper (which cannot be redistributed here). Each generator knob
+//! corresponds to a structural feature the paper identifies as
+//! decisive for the relative performance of joint, separate-global and
+//! JA-verification — see DESIGN.md §5 for the substitution argument.
+
+use japrove_aig::{Aig, AigLit};
+use japrove_tsys::{PropertyId, TransitionSystem, Word};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Ground truth for a generated property.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Expected {
+    /// Holds globally (hence locally).
+    True,
+    /// Fails globally at exactly this depth, with no earlier violation
+    /// of any other property on its counterexamples of minimal depth —
+    /// it belongs to the debugging set.
+    FailsAt(usize),
+    /// Fails globally, but every counterexample first violates the
+    /// guard property — it holds *locally* (not in the debugging set).
+    ShadowedFailsAt {
+        /// Depth of the earliest guard violation on any witness.
+        guard_depth: usize,
+        /// Depth of this property's own earliest violation.
+        own_depth: usize,
+    },
+}
+
+impl Expected {
+    /// `true` if the property holds globally.
+    pub fn holds_globally(self) -> bool {
+        self == Expected::True
+    }
+
+    /// `true` if the property belongs to the debugging set (fails
+    /// locally).
+    pub fn fails_locally(self) -> bool {
+        matches!(self, Expected::FailsAt(_))
+    }
+}
+
+/// Parameters of a generated design.
+///
+/// # Examples
+///
+/// ```
+/// use japrove_genbench::FamilyParams;
+/// let params = FamilyParams::new("demo", 7).easy_true(3).shallow_fails(vec![2]);
+/// let design = params.generate();
+/// assert_eq!(design.sys.num_properties(), 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FamilyParams {
+    /// Design name (stand-in benchmarks use `syn_*` names).
+    pub name: String,
+    /// Seed controlling the interleaving of property kinds.
+    pub seed: u64,
+    /// Trivially inductive true properties (a register that stays 0).
+    pub num_easy_true: usize,
+    /// Size of the shared one-hot token ring (0 disables it).
+    pub ring_size: usize,
+    /// True properties on the ring (`!(t_a & t_b)` pairs) — they share
+    /// strengthening clauses, the clause re-use sweet spot (§6).
+    pub num_ring_props: usize,
+    /// Assumption-network modules. Each contributes two true
+    /// properties: a *flag* property needing an invariant over its
+    /// wrapping counter, and a *sink* property that is trivial under
+    /// the neighbour's flag assumption but needs the neighbour's
+    /// invariant globally (the Table X effect).
+    pub num_chain_modules: usize,
+    /// Wrap value of the chain counters.
+    pub chain_wrap: u64,
+    /// Depths of independently-failing shallow properties (each on its
+    /// own input-enabled counter — all of them are in the debugging
+    /// set).
+    pub shallow_fail_depths: Vec<u64>,
+    /// Ring-sink monitors: `(ring_size, num_sinks)`. A *separate*,
+    /// property-free one-hot token ring plus sticky monitor bits that
+    /// absorb "two tokens at adjacent slots" events. Each monitor
+    /// property is true, but its proof must *derive* the ring's
+    /// one-hot invariant — the assumptions of local proofs do not
+    /// cover it. Proofs of different monitors share most strengthening
+    /// clauses: the clause re-use sweet spot of Table VII.
+    pub ring_sinks: Option<(usize, usize)>,
+    /// Shadow groups: `(guard_depth, own_extra_depths)`. Each group
+    /// adds one guard property failing at `guard_depth` plus one
+    /// shadowed property per extra depth, failing at `guard_depth +
+    /// extra` but only after the guard — shadowed properties hold
+    /// locally.
+    pub shadow_groups: Vec<(u64, Vec<u64>)>,
+}
+
+impl FamilyParams {
+    /// A named, empty parameter set.
+    pub fn new(name: impl Into<String>, seed: u64) -> Self {
+        FamilyParams {
+            name: name.into(),
+            seed,
+            num_easy_true: 0,
+            ring_size: 0,
+            num_ring_props: 0,
+            num_chain_modules: 0,
+            chain_wrap: 10,
+            ring_sinks: None,
+            shallow_fail_depths: Vec::new(),
+            shadow_groups: Vec::new(),
+        }
+    }
+
+    /// Sets the number of trivially-true properties.
+    pub fn easy_true(mut self, n: usize) -> Self {
+        self.num_easy_true = n;
+        self
+    }
+
+    /// Enables the token ring with the given size and property count.
+    pub fn ring(mut self, size: usize, props: usize) -> Self {
+        self.ring_size = size;
+        self.num_ring_props = props;
+        self
+    }
+
+    /// Sets the number of assumption-network modules.
+    pub fn chain(mut self, modules: usize, wrap: u64) -> Self {
+        self.num_chain_modules = modules;
+        self.chain_wrap = wrap;
+        self
+    }
+
+    /// Enables the ring-sink monitors.
+    pub fn sinks(mut self, ring_size: usize, num: usize) -> Self {
+        self.ring_sinks = Some((ring_size, num));
+        self
+    }
+
+    /// Sets the shallow-failure depths.
+    pub fn shallow_fails(mut self, depths: Vec<u64>) -> Self {
+        self.shallow_fail_depths = depths;
+        self
+    }
+
+    /// Adds a shadow group.
+    pub fn shadow_group(mut self, guard_depth: u64, extras: Vec<u64>) -> Self {
+        self.shadow_groups.push((guard_depth, extras));
+        self
+    }
+
+    /// Total number of properties this parameter set generates.
+    pub fn num_properties(&self) -> usize {
+        self.num_easy_true
+            + self.num_ring_props
+            + 2 * self.num_chain_modules
+            + self.ring_sinks.map_or(0, |(_, n)| n)
+            + self.shallow_fail_depths.len()
+            + self
+                .shadow_groups
+                .iter()
+                .map(|(_, extras)| 1 + extras.len())
+                .sum::<usize>()
+    }
+
+    /// Generates the design.
+    pub fn generate(&self) -> GeneratedDesign {
+        generate(self)
+    }
+}
+
+/// A generated design with its ground truth.
+#[derive(Clone, Debug)]
+pub struct GeneratedDesign {
+    /// The multi-property system.
+    pub sys: TransitionSystem,
+    /// Ground truth per property (aligned with property ids).
+    pub expected: Vec<Expected>,
+}
+
+impl GeneratedDesign {
+    /// Property ids expected to be in the debugging set.
+    pub fn expected_debugging_set(&self) -> Vec<PropertyId> {
+        self.expected
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.fails_locally())
+            .map(|(i, _)| PropertyId::new(i))
+            .collect()
+    }
+
+    /// Number of properties expected to fail globally.
+    pub fn expected_global_failures(&self) -> usize {
+        self.expected
+            .iter()
+            .filter(|e| !e.holds_globally())
+            .count()
+    }
+}
+
+/// Width needed to count to `max` without wrapping.
+fn width_for(max: u64) -> usize {
+    (64 - (max + 2).leading_zeros()) as usize
+}
+
+/// A saturating counter gated by a fresh enable input; returns the
+/// word.
+fn gated_saturating_counter(aig: &mut Aig, width: usize, gate: AigLit) -> Word {
+    let c = Word::latches(aig, width, 0);
+    let max = (1u64 << width) - 1;
+    let at_max = c.eq_const(aig, max);
+    let inc = c.increment(aig);
+    let held = Word::mux(aig, at_max, &c, &inc);
+    let next = Word::mux(aig, gate, &held, &c);
+    c.set_next(aig, &next);
+    c
+}
+
+/// Candidate property in generation order before shuffling.
+enum Pending {
+    Prop {
+        name: String,
+        good: AigLit,
+        expected: Expected,
+    },
+}
+
+fn generate(params: &FamilyParams) -> GeneratedDesign {
+    let mut aig = Aig::new();
+    let mut pending: Vec<Pending> = Vec::new();
+
+    // Trivially-true registers.
+    for i in 0..params.num_easy_true {
+        let gate = aig.add_input();
+        let z = aig.add_latch(false);
+        let nz = aig.and(z, gate); // stays 0 forever
+        aig.set_next(z, nz);
+        pending.push(Pending::Prop {
+            name: format!("easy_true_{i}"),
+            good: !z,
+            expected: Expected::True,
+        });
+    }
+
+    // Shared one-hot token ring.
+    if params.ring_size > 0 {
+        let tokens: Vec<AigLit> = (0..params.ring_size)
+            .map(|i| aig.add_latch(i == 0))
+            .collect();
+        for i in 0..params.ring_size {
+            let prev = tokens[(i + params.ring_size - 1) % params.ring_size];
+            aig.set_next(tokens[i], prev);
+        }
+        for i in 0..params.num_ring_props {
+            let a = i % params.ring_size;
+            let b = (i / params.ring_size + 1 + i) % params.ring_size;
+            let b = if a == b { (b + 1) % params.ring_size } else { b };
+            let both = aig.and(tokens[a], tokens[b]);
+            pending.push(Pending::Prop {
+                name: format!("ring_excl_{a}_{b}"),
+                good: !both,
+                expected: Expected::True,
+            });
+        }
+    }
+
+    // Assumption-network chain: module i's sink watches module
+    // (i-1)'s flag.
+    if params.num_chain_modules > 0 {
+        let wrap = params.chain_wrap;
+        let width = width_for(wrap + 1);
+        let mut flags = Vec::with_capacity(params.num_chain_modules);
+        for _ in 0..params.num_chain_modules {
+            let c = Word::latches(&mut aig, width, 0);
+            let at_wrap = c.eq_const(&mut aig, wrap);
+            let inc = c.increment(&mut aig);
+            let zero = Word::constant(&mut aig, 0, width);
+            let next = Word::mux(&mut aig, at_wrap, &zero, &inc);
+            c.set_next(&mut aig, &next);
+            // The flag can only rise if the counter escapes [0, wrap].
+            let flag = c.ge_const(&mut aig, wrap + 1);
+            flags.push(flag);
+        }
+        for i in 0..params.num_chain_modules {
+            let neighbour = flags[(i + params.num_chain_modules - 1) % params.num_chain_modules];
+            // Sink: sticky bit absorbing the neighbour's flag.
+            let s = aig.add_latch(false);
+            let ns = aig.or(s, neighbour);
+            aig.set_next(s, ns);
+            pending.push(Pending::Prop {
+                name: format!("chain_flag_{i}"),
+                good: !flags[i],
+                expected: Expected::True,
+            });
+            pending.push(Pending::Prop {
+                name: format!("chain_sink_{i}"),
+                good: !s,
+                expected: Expected::True,
+            });
+        }
+    }
+
+    // Ring-sink monitors over a dedicated, property-free token ring.
+    if let Some((size, num)) = params.ring_sinks {
+        let tokens: Vec<AigLit> = (0..size).map(|i| aig.add_latch(i == 0)).collect();
+        for i in 0..size {
+            let prev = tokens[(i + size - 1) % size];
+            aig.set_next(tokens[i], prev);
+        }
+        for m in 0..num {
+            let a = m % size;
+            let b = (a + 1 + m / size) % size;
+            let event = aig.and(tokens[a], tokens[b]);
+            let s = aig.add_latch(false);
+            let ns = aig.or(s, event);
+            aig.set_next(s, ns);
+            pending.push(Pending::Prop {
+                name: format!("ring_sink_{m}"),
+                good: !s,
+                expected: Expected::True,
+            });
+        }
+    }
+
+    // Independent shallow failures, each gated by its own input so no
+    // failure shadows another.
+    for (i, &depth) in params.shallow_fail_depths.iter().enumerate() {
+        let gate = aig.add_input();
+        let c = gated_saturating_counter(&mut aig, width_for(depth + 1), gate);
+        let good = c.lt_const(&mut aig, depth);
+        pending.push(Pending::Prop {
+            name: format!("shallow_fail_{i}_d{depth}"),
+            good,
+            expected: Expected::FailsAt(depth as usize),
+        });
+    }
+
+    // Shadow groups: one guard plus its shadowed sinks.
+    for (g, (guard_depth, extras)) in params.shadow_groups.iter().enumerate() {
+        let gate = aig.add_input();
+        let c = gated_saturating_counter(&mut aig, width_for(guard_depth + extras.iter().copied().max().unwrap_or(0) + 2), gate);
+        let guard_good = c.lt_const(&mut aig, *guard_depth);
+        pending.push(Pending::Prop {
+            name: format!("guard_{g}_d{guard_depth}"),
+            good: guard_good,
+            expected: Expected::FailsAt(*guard_depth as usize),
+        });
+        for (j, &extra) in extras.iter().enumerate() {
+            // Fails once the shared counter passes guard_depth + extra:
+            // by then the guard property has been violated for `extra`
+            // steps already.
+            let own = guard_depth + extra;
+            let good = c.lt_const(&mut aig, own);
+            pending.push(Pending::Prop {
+                name: format!("shadow_{g}_{j}_d{own}"),
+                good,
+                expected: Expected::ShadowedFailsAt {
+                    guard_depth: *guard_depth as usize,
+                    own_depth: own as usize,
+                },
+            });
+        }
+    }
+
+    // Interleave property kinds pseudo-randomly but reproducibly.
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    pending.shuffle(&mut rng);
+
+    let mut sys = TransitionSystem::new(params.name.clone(), aig);
+    let mut expected = Vec::with_capacity(pending.len());
+    for p in pending {
+        let Pending::Prop {
+            name,
+            good,
+            expected: e,
+        } = p;
+        sys.add_property(name, good);
+        expected.push(e);
+    }
+    GeneratedDesign { sys, expected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use japrove_aig::Simulator;
+
+    #[test]
+    fn property_count_matches_params() {
+        let params = FamilyParams::new("t", 1)
+            .easy_true(2)
+            .ring(5, 3)
+            .chain(2, 6)
+            .shallow_fails(vec![2, 4])
+            .shadow_group(3, vec![5, 9]);
+        assert_eq!(params.num_properties(), 2 + 3 + 4 + 2 + 3);
+        let design = params.generate();
+        assert_eq!(design.sys.num_properties(), params.num_properties());
+        assert_eq!(design.expected.len(), params.num_properties());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let params = FamilyParams::new("t", 42).easy_true(2).shallow_fails(vec![3]);
+        let a = params.generate();
+        let b = params.generate();
+        let names_a: Vec<&str> = a.sys.properties().iter().map(|p| p.name.as_str()).collect();
+        let names_b: Vec<&str> = b.sys.properties().iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names_a, names_b);
+        assert_eq!(a.expected, b.expected);
+    }
+
+    #[test]
+    fn shallow_failures_occur_at_expected_depth() {
+        let params = FamilyParams::new("t", 3).shallow_fails(vec![3]);
+        let design = params.generate();
+        let sys = &design.sys;
+        let aig = sys.aig();
+        let mut sim = Simulator::new(aig);
+        let prop = &sys.properties()[0];
+        // All-enables-on run: failure exactly at depth 3.
+        for step in 0..5u64 {
+            let good = sim.value_bit(prop.good);
+            assert_eq!(good, step < 3, "step {step}");
+            sim.step(aig, &vec![u64::MAX; aig.num_inputs()]);
+        }
+    }
+
+    #[test]
+    fn shadowed_failures_follow_guard() {
+        let params = FamilyParams::new("t", 9).shadow_group(2, vec![3]);
+        let design = params.generate();
+        let sys = &design.sys;
+        let aig = sys.aig();
+        let guard = sys
+            .properties()
+            .iter()
+            .position(|p| p.name.starts_with("guard"))
+            .expect("guard");
+        let shadow = sys
+            .properties()
+            .iter()
+            .position(|p| p.name.starts_with("shadow"))
+            .expect("shadow");
+        let mut sim = Simulator::new(aig);
+        let mut first_guard = None;
+        let mut first_shadow = None;
+        for step in 0..10usize {
+            if first_guard.is_none() && !sim.value_bit(sys.properties()[guard].good) {
+                first_guard = Some(step);
+            }
+            if first_shadow.is_none() && !sim.value_bit(sys.properties()[shadow].good) {
+                first_shadow = Some(step);
+            }
+            sim.step(aig, &vec![u64::MAX; aig.num_inputs()]);
+        }
+        assert_eq!(first_guard, Some(2));
+        assert_eq!(first_shadow, Some(5));
+    }
+
+    #[test]
+    fn ring_tokens_stay_one_hot() {
+        let params = FamilyParams::new("t", 5).ring(6, 4);
+        let design = params.generate();
+        let aig = design.sys.aig();
+        let mut sim = Simulator::new(aig);
+        for _ in 0..12 {
+            let ones: u32 = sim
+                .state()
+                .iter()
+                .map(|&w| (w & 1) as u32)
+                .sum();
+            assert_eq!(ones, 1);
+            sim.step(aig, &vec![0; aig.num_inputs()]);
+        }
+    }
+
+    #[test]
+    fn ring_sink_monitors_stay_low() {
+        let params = FamilyParams::new("t", 11).sinks(8, 12);
+        let design = params.generate();
+        assert_eq!(design.sys.num_properties(), 12);
+        let sys = &design.sys;
+        let aig = sys.aig();
+        let mut sim = japrove_aig::Simulator::new(aig);
+        for _ in 0..3 * 8 {
+            for p in sys.properties() {
+                assert!(sim.value_bit(p.good), "{} violated", p.name);
+            }
+            sim.step(aig, &vec![0; aig.num_inputs()]);
+        }
+    }
+
+    #[test]
+    fn chain_properties_are_true_in_simulation() {
+        let params = FamilyParams::new("t", 8).chain(3, 5);
+        let design = params.generate();
+        let sys = &design.sys;
+        let aig = sys.aig();
+        let mut sim = Simulator::new(aig);
+        for _ in 0..20 {
+            for p in sys.properties() {
+                assert!(sim.value_bit(p.good), "{} violated", p.name);
+            }
+            sim.step(aig, &vec![u64::MAX; aig.num_inputs()]);
+        }
+    }
+}

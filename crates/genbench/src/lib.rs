@@ -1,0 +1,40 @@
+//! Synthetic multi-property benchmark designs.
+//!
+//! The HWMCC'12/13 multi-property AIGER suites evaluated in the paper
+//! are not redistributable here, so this crate generates stand-in
+//! designs exhibiting the same decisive structural features:
+//!
+//! * [`buggy_counter`] — the paper's Example 1 (Table I),
+//! * [`FamilyParams`] / [`GeneratedDesign`] — a parameterized family
+//!   with per-property *ground truth* ([`Expected`]), combining
+//!   trivially-true registers, one-hot token rings (clause-sharing
+//!   true properties), assumption-network chains (cheap local / costly
+//!   global proofs), independent shallow failures (debugging-set
+//!   members) and shadowed deep failures (false globally, true
+//!   locally),
+//! * [`many_props_specs`], [`failing_specs`], [`all_true_specs`],
+//!   [`probe_spec`] — the named design lists regenerating Tables
+//!   II–X.
+//!
+//! # Examples
+//!
+//! ```
+//! use japrove_genbench::{buggy_counter, FamilyParams};
+//!
+//! let (sys, props) = buggy_counter(8);
+//! assert_eq!(sys.num_properties(), 2);
+//!
+//! let design = FamilyParams::new("demo", 1)
+//!     .easy_true(2)
+//!     .shadow_group(2, vec![10])
+//!     .generate();
+//! assert_eq!(design.expected_debugging_set().len(), 1);
+//! ```
+
+mod counter;
+mod family;
+mod specs;
+
+pub use counter::{buggy_counter, CounterProps};
+pub use family::{Expected, FamilyParams, GeneratedDesign};
+pub use specs::{all_true_specs, failing_specs, many_props_specs, parallel_spec, probe_spec};

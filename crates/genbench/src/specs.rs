@@ -1,0 +1,150 @@
+//! Named benchmark specifications: scaled-down stand-ins for the
+//! HWMCC'12/13 designs used in the paper's tables.
+//!
+//! Names follow the originals (`syn_6s400` stands in for `6s400`);
+//! property counts and depths are scaled so every table regenerates in
+//! minutes on a laptop. The structural features driving each table's
+//! effect are preserved — see DESIGN.md §5.
+
+use crate::FamilyParams;
+
+/// Designs with a very large number of properties (Table II).
+///
+/// The aggregate property of these designs spans many unrelated cones
+/// and contains a deeply-failing (shadowed) property, which is what
+/// makes joint verification collapse while JA stays robust.
+pub fn many_props_specs() -> Vec<FamilyParams> {
+    vec![
+        FamilyParams::new("syn_6s400", 400)
+            .chain(24, 8)
+            .easy_true(24)
+            .ring(8, 12)
+            .shallow_fails(vec![2, 3])
+            .shadow_group(2, vec![2500, 8000]),
+        FamilyParams::new("syn_6s355", 355)
+            .chain(30, 6)
+            .easy_true(20)
+            .shallow_fails(vec![2])
+            .shadow_group(3, vec![3000]),
+        FamilyParams::new("syn_6s289", 289)
+            .chain(36, 6)
+            .easy_true(12)
+            .ring(6, 8)
+            .shadow_group(2, vec![2000]),
+        FamilyParams::new("syn_6s403", 403).chain(20, 5).easy_true(30),
+    ]
+}
+
+/// Designs with failing properties (Tables III, V, VIII).
+///
+/// Many properties are false globally but true locally; the debugging
+/// sets are small, matching the paper's headline effect.
+pub fn failing_specs() -> Vec<FamilyParams> {
+    vec![
+        FamilyParams::new("syn_6s104", 104)
+            .chain(5, 8)
+            .easy_true(4)
+            .shadow_group(3, vec![300, 6000]),
+        FamilyParams::new("syn_6s260", 260)
+            .easy_true(8)
+            .ring(6, 4)
+            .shadow_group(2, vec![400]),
+        FamilyParams::new("syn_6s258", 258)
+            .chain(6, 6)
+            .easy_true(5)
+            .shadow_group(2, vec![150, 200, 250, 300, 350, 400, 450, 500]),
+        FamilyParams::new("syn_6s175", 175).easy_true(1).shallow_fails(vec![2, 4]),
+        FamilyParams::new("syn_6s207", 207)
+            .easy_true(10)
+            .chain(4, 6)
+            .shadow_group(2, vec![250, 350])
+            .shadow_group(3, vec![300]),
+        FamilyParams::new("syn_6s254", 254)
+            .easy_true(7)
+            .ring(6, 6)
+            .shallow_fails(vec![2]),
+        FamilyParams::new("syn_6s335", 335)
+            .easy_true(10)
+            .chain(8, 6)
+            .shallow_fails(vec![2, 2, 3, 3, 4])
+            .shadow_group(2, vec![200, 300, 400]),
+        FamilyParams::new("syn_6s380", 380)
+            .chain(12, 6)
+            .easy_true(10)
+            .ring(8, 8)
+            .shallow_fails(vec![2, 3, 4])
+            .shadow_group(2, vec![150, 200, 250, 300, 350, 400, 450, 500, 550, 6000]),
+    ]
+}
+
+/// Designs where every property is true (Tables IV, VI, VII, IX).
+pub fn all_true_specs() -> Vec<FamilyParams> {
+    vec![
+        FamilyParams::new("syn_6s124", 124).chain(16, 8).easy_true(8).sinks(14, 24),
+        FamilyParams::new("syn_6s135", 135).ring(10, 20).easy_true(6).sinks(10, 18),
+        FamilyParams::new("syn_6s139", 139).chain(12, 12).ring(8, 6).sinks(16, 28),
+        FamilyParams::new("syn_6s256", 256).chain(2, 10).easy_true(1),
+        FamilyParams::new("syn_bob12m09", 1209).ring(8, 10).easy_true(8).chain(4, 6).sinks(8, 12),
+        FamilyParams::new("syn_6s407", 407).chain(14, 8).easy_true(12).ring(6, 6).sinks(18, 30),
+        FamilyParams::new("syn_6s273", 273).easy_true(10).chain(4, 5),
+        FamilyParams::new("syn_6s275", 275).ring(12, 24).easy_true(12).chain(6, 6).sinks(12, 20),
+    ]
+}
+
+/// The single-property probe design of Table X (stand-in for 6s289
+/// with 10,789 properties): a long assumption-network chain where
+/// global proofs need several frames but local proofs converge
+/// immediately.
+pub fn probe_spec() -> FamilyParams {
+    FamilyParams::new("syn_6s289_probe", 2890).chain(40, 10).easy_true(10)
+}
+
+/// A heavier all-true design for the parallel-scaling experiment of
+/// §11: per-property work is large enough that thread overheads are
+/// negligible.
+pub fn parallel_spec() -> FamilyParams {
+    FamilyParams::new("syn_parallel", 1111)
+        .chain(24, 120)
+        .ring(14, 28)
+        .easy_true(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_generate_consistent_designs() {
+        for spec in failing_specs().into_iter().chain(all_true_specs()) {
+            let d = spec.generate();
+            assert_eq!(d.sys.num_properties(), spec.num_properties(), "{}", spec.name);
+            assert!(d.sys.num_properties() > 0);
+        }
+    }
+
+    #[test]
+    fn all_true_specs_have_no_expected_failures() {
+        for spec in all_true_specs() {
+            let d = spec.generate();
+            assert_eq!(d.expected_global_failures(), 0, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn failing_specs_have_small_debugging_sets() {
+        for spec in failing_specs() {
+            let d = spec.generate();
+            let debug = d.expected_debugging_set().len();
+            let failures = d.expected_global_failures();
+            assert!(debug >= 1, "{}", spec.name);
+            assert!(debug <= failures, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn probe_spec_is_all_true() {
+        let d = probe_spec().generate();
+        assert_eq!(d.expected_global_failures(), 0);
+        assert!(d.sys.num_properties() >= 80);
+    }
+}

@@ -1,0 +1,355 @@
+//! Bounded model checking by incremental unrolling.
+
+use crate::{Counterexample, UnknownReason};
+use japrove_aig::CnfEncoder;
+use japrove_logic::{Lit, Var};
+use japrove_sat::{Budget, SolveResult, Solver};
+use japrove_tsys::{PropertyId, Trace, TransitionSystem};
+
+/// Outcome of a BMC run.
+#[derive(Clone, Debug)]
+pub enum BmcResult {
+    /// A counterexample was found, together with the subset of the
+    /// queried properties its final state falsifies.
+    Cex {
+        /// The concrete witness.
+        cex: Counterexample,
+        /// Queried properties falsified by the final state.
+        falsified: Vec<PropertyId>,
+    },
+    /// No counterexample exists up to (and including) the given depth.
+    NoCexUpTo(usize),
+    /// Resources ran out first.
+    Unknown(UnknownReason),
+}
+
+impl BmcResult {
+    /// `true` if a counterexample was found.
+    pub fn is_cex(&self) -> bool {
+        matches!(self, BmcResult::Cex { .. })
+    }
+}
+
+/// An incremental bounded model checker.
+///
+/// Unrolls the transition relation frame by frame inside one
+/// incremental SAT solver; per-depth queries are assumption-based so
+/// the unrolling is shared across depths and across properties
+/// (including the aggregate-property queries of joint verification).
+///
+/// # Examples
+///
+/// ```
+/// use japrove_aig::Aig;
+/// use japrove_ic3::{Bmc, BmcResult};
+/// use japrove_sat::Budget;
+/// use japrove_tsys::{TransitionSystem, Word};
+///
+/// let mut aig = Aig::new();
+/// let c = Word::latches(&mut aig, 3, 0);
+/// let n = c.increment(&mut aig);
+/// c.set_next(&mut aig, &n);
+/// let safe = c.lt_const(&mut aig, 5);
+/// let mut sys = TransitionSystem::new("cnt", aig);
+/// let p = sys.add_property("lt5", safe);
+///
+/// let mut bmc = Bmc::new(&sys);
+/// match bmc.run(&[p], 16, Budget::unlimited()) {
+///     BmcResult::Cex { cex, .. } => assert_eq!(cex.depth, 5),
+///     other => panic!("expected counterexample, got {other:?}"),
+/// }
+/// ```
+#[derive(Debug)]
+pub struct Bmc<'a> {
+    sys: &'a TransitionSystem,
+    solver: Solver,
+    /// Present-state variables per unrolled frame.
+    state_vars: Vec<Vec<Var>>,
+    /// Input variables per frame.
+    input_vars: Vec<Vec<Var>>,
+    /// Good-literals per frame, one per property.
+    good_lits: Vec<Vec<Lit>>,
+}
+
+impl<'a> Bmc<'a> {
+    /// Creates a checker with frame 0 (the initial state) encoded.
+    pub fn new(sys: &'a TransitionSystem) -> Self {
+        let mut bmc = Bmc {
+            sys,
+            solver: Solver::new(),
+            state_vars: Vec::new(),
+            input_vars: Vec::new(),
+            good_lits: Vec::new(),
+        };
+        // Frame 0 state variables, constrained to the initial state.
+        let vars: Vec<Var> = sys
+            .aig()
+            .latches()
+            .iter()
+            .map(|_| bmc.solver.new_var())
+            .collect();
+        for (v, latch) in vars.iter().zip(sys.aig().latches()) {
+            bmc.solver.add_clause([v.lit(!latch.reset)]);
+        }
+        bmc.state_vars.push(vars);
+        bmc.encode_frame_logic();
+        bmc
+    }
+
+    /// Number of fully encoded frames (depths `0..frames()` are
+    /// queryable).
+    pub fn frames(&self) -> usize {
+        self.good_lits.len()
+    }
+
+    /// Encodes the combinational logic (properties, constraints, next
+    /// state) of the latest frame and prepares the next frame's state
+    /// variables.
+    fn encode_frame_logic(&mut self) {
+        let aig = self.sys.aig();
+        let t = self.state_vars.len() - 1;
+        let mut enc = CnfEncoder::starting_at(self.solver.num_vars());
+        for (latch, &v) in aig.latches().iter().zip(&self.state_vars[t]) {
+            enc.pin_to(latch.node, v);
+        }
+        let inputs: Vec<Var> = aig.inputs().iter().map(|&n| enc.pin(n)).collect();
+        let goods: Vec<Lit> = self
+            .sys
+            .properties()
+            .iter()
+            .map(|p| enc.lit_for(aig, p.good))
+            .collect();
+        let constraints: Vec<Lit> = self
+            .sys
+            .constraints()
+            .iter()
+            .map(|&c| enc.lit_for(aig, c))
+            .collect();
+        let nexts: Vec<Lit> = aig
+            .latches()
+            .iter()
+            .map(|l| enc.lit_for(aig, l.next))
+            .collect();
+        let next_vars: Vec<Var> = (0..aig.num_latches()).map(|_| enc.fresh()).collect();
+        let cnf = enc.take_new_clauses();
+        self.solver.ensure_vars(cnf.num_vars());
+        for c in cnf.clauses() {
+            self.solver.add_clause(c.lits().iter().copied());
+        }
+        // Design constraints hold at every step.
+        for &c in &constraints {
+            self.solver.add_clause([c]);
+        }
+        for (&v, &f) in next_vars.iter().zip(&nexts) {
+            self.solver.add_clause([v.neg(), f]);
+            self.solver.add_clause([v.pos(), !f]);
+        }
+        self.input_vars.push(inputs);
+        self.good_lits.push(goods);
+        self.state_vars.push(next_vars);
+    }
+
+    /// Ensures depth `k` is queryable.
+    fn extend_to(&mut self, k: usize) {
+        while self.frames() <= k {
+            self.encode_frame_logic();
+        }
+    }
+
+    /// Checks whether some property in `props` can be violated at
+    /// exactly depth `k`. Returns the witness on success.
+    pub fn check_at(&mut self, props: &[PropertyId], k: usize, budget: Budget) -> BmcResult {
+        self.extend_to(k);
+        self.solver.set_budget(budget);
+        // OR of the bad literals at frame k, via an auxiliary variable.
+        let bads: Vec<Lit> = props
+            .iter()
+            .map(|&p| !self.good_lits[k][p.index()])
+            .collect();
+        let result = if bads.len() == 1 {
+            self.solver.solve(&bads)
+        } else {
+            let aux = self.solver.new_var();
+            let mut clause: Vec<Lit> = vec![aux.neg()];
+            clause.extend(&bads);
+            self.solver.add_clause(clause);
+            let r = self.solver.solve(&[aux.pos()]);
+            // Permanently disable the auxiliary definition.
+            self.solver.add_clause([aux.neg()]);
+            r
+        };
+        match result {
+            SolveResult::Unknown => BmcResult::Unknown(UnknownReason::Budget),
+            SolveResult::Unsat => BmcResult::NoCexUpTo(k),
+            SolveResult::Sat => {
+                let trace = self.extract_trace(k);
+                let falsified = self.falsified_at(props, k);
+                BmcResult::Cex {
+                    cex: Counterexample { depth: k, trace },
+                    falsified,
+                }
+            }
+        }
+    }
+
+    /// Searches depths `0..=max_depth` in order and returns the first
+    /// counterexample, if any.
+    pub fn run(&mut self, props: &[PropertyId], max_depth: usize, budget: Budget) -> BmcResult {
+        for k in 0..=max_depth {
+            match self.check_at(props, k, budget) {
+                BmcResult::NoCexUpTo(_) => continue,
+                other => return other,
+            }
+        }
+        BmcResult::NoCexUpTo(max_depth)
+    }
+
+    fn extract_trace(&self, k: usize) -> Trace {
+        let model = self.solver.model();
+        let states: Vec<Vec<bool>> = self.state_vars[..=k]
+            .iter()
+            .map(|vars| {
+                vars.iter()
+                    .map(|&v| model.value(v).to_bool().unwrap_or(false))
+                    .collect()
+            })
+            .collect();
+        let inputs: Vec<Vec<bool>> = self.input_vars[..=k]
+            .iter()
+            .map(|vars| {
+                vars.iter()
+                    .map(|&v| model.value(v).to_bool().unwrap_or(false))
+                    .collect()
+            })
+            .collect();
+        Trace::new(states, inputs)
+    }
+
+    fn falsified_at(&self, props: &[PropertyId], k: usize) -> Vec<PropertyId> {
+        props
+            .iter()
+            .copied()
+            .filter(|p| self.solver.model_value(self.good_lits[k][p.index()]).is_false())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use japrove_aig::Aig;
+    use japrove_tsys::{replay, Word};
+
+    fn counter(bits: usize, limit: u64) -> (TransitionSystem, PropertyId) {
+        let mut aig = Aig::new();
+        let c = Word::latches(&mut aig, bits, 0);
+        let n = c.increment(&mut aig);
+        c.set_next(&mut aig, &n);
+        let safe = c.lt_const(&mut aig, limit);
+        let mut sys = TransitionSystem::new("cnt", aig);
+        let p = sys.add_property("bound", safe);
+        (sys, p)
+    }
+
+    #[test]
+    fn finds_cex_at_exact_depth() {
+        let (sys, p) = counter(4, 9);
+        let mut bmc = Bmc::new(&sys);
+        match bmc.run(&[p], 32, Budget::unlimited()) {
+            BmcResult::Cex { cex, falsified } => {
+                assert_eq!(cex.depth, 9);
+                assert_eq!(falsified, vec![p]);
+                let r = replay(&sys, &cex.trace).expect("replayable");
+                assert!(r.violates_finally(p));
+                assert_eq!(r.first_violation(p), Some(9));
+            }
+            other => panic!("expected cex, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_no_cex_for_true_property() {
+        let (sys, p) = counter(3, 8); // 3-bit counter always < 8
+        let mut bmc = Bmc::new(&sys);
+        match bmc.run(&[p], 20, Budget::unlimited()) {
+            BmcResult::NoCexUpTo(20) => {}
+            other => panic!("expected no cex, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aggregate_query_reports_all_falsified() {
+        let mut aig = Aig::new();
+        let c = Word::latches(&mut aig, 3, 0);
+        let n = c.increment(&mut aig);
+        c.set_next(&mut aig, &n);
+        let lt3 = c.lt_const(&mut aig, 3);
+        let lt4 = c.lt_const(&mut aig, 4);
+        let ne3 = c.eq_const(&mut aig, 3);
+        let mut sys = TransitionSystem::new("cnt", aig);
+        let p_lt3 = sys.add_property("lt3", lt3);
+        let p_lt4 = sys.add_property("lt4", lt4);
+        let p_ne3 = sys.add_property("ne3", !ne3);
+        let mut bmc = Bmc::new(&sys);
+        match bmc.run(&[p_lt3, p_lt4, p_ne3], 10, Budget::unlimited()) {
+            BmcResult::Cex { cex, falsified } => {
+                // First failure is at depth 3 where lt3 and ne3 both break.
+                assert_eq!(cex.depth, 3);
+                assert!(falsified.contains(&p_lt3));
+                assert!(falsified.contains(&p_ne3));
+                assert!(!falsified.contains(&p_lt4));
+            }
+            other => panic!("expected cex, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn input_dependent_property_fails_at_depth_zero() {
+        let mut aig = Aig::new();
+        let req = aig.add_input();
+        let l = aig.add_latch(false);
+        aig.set_next(l, l);
+        let mut sys = TransitionSystem::new("io", aig);
+        let p = sys.add_property("req_high", req);
+        let mut bmc = Bmc::new(&sys);
+        match bmc.run(&[p], 4, Budget::unlimited()) {
+            BmcResult::Cex { cex, .. } => {
+                assert_eq!(cex.depth, 0);
+                let r = replay(&sys, &cex.trace).expect("replayable");
+                assert!(r.violates_finally(p));
+            }
+            other => panic!("expected cex, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_unknown() {
+        let (sys, p) = counter(10, 900);
+        let mut bmc = Bmc::new(&sys);
+        let res = bmc.run(&[p], 1000, Budget::conflicts(1));
+        assert!(matches!(
+            res,
+            BmcResult::Unknown(UnknownReason::Budget) | BmcResult::Cex { .. }
+        ));
+    }
+
+    #[test]
+    fn design_constraints_restrict_traces() {
+        // Counter with constraint "count < 4": the property "count < 6"
+        // can then never fail.
+        let mut aig = Aig::new();
+        let c = Word::latches(&mut aig, 3, 0);
+        let n = c.increment(&mut aig);
+        c.set_next(&mut aig, &n);
+        let lt4 = c.lt_const(&mut aig, 4);
+        let lt6 = c.lt_const(&mut aig, 6);
+        let mut sys = TransitionSystem::new("cnt", aig);
+        sys.add_constraint(lt4);
+        let p = sys.add_property("lt6", lt6);
+        let mut bmc = Bmc::new(&sys);
+        match bmc.run(&[p], 12, Budget::unlimited()) {
+            BmcResult::NoCexUpTo(12) => {}
+            other => panic!("expected no cex, got {other:?}"),
+        }
+    }
+}

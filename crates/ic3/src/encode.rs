@@ -1,0 +1,278 @@
+//! Transition-relation encoding shared by the engines.
+
+use japrove_aig::CnfEncoder;
+use japrove_logic::{Clause, Cnf, Cube, Lit, Var};
+use japrove_sat::Solver;
+use japrove_tsys::{PropertyId, TransitionSystem};
+
+/// The CNF skeleton of an `(I, T)`-system with a fixed variable layout:
+///
+/// * variables `0..L` — present-state latches (so a state [`Cube`] over
+///   latch indices is directly meaningful to the solver),
+/// * variables `L..L+I` — primary inputs,
+/// * internal Tseitin variables for the combinational cones,
+/// * one *next-state* variable per latch, constrained equivalent to the
+///   latch's next-state function.
+///
+/// # Examples
+///
+/// ```
+/// use japrove_aig::Aig;
+/// use japrove_ic3::TsEncoding;
+/// use japrove_tsys::TransitionSystem;
+///
+/// let mut aig = Aig::new();
+/// let l = aig.add_latch(false);
+/// aig.set_next(l, !l);
+/// let mut sys = TransitionSystem::new("t", aig);
+/// sys.add_property("p", !l);
+/// let enc = TsEncoding::new(&sys);
+/// assert_eq!(enc.num_latches(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TsEncoding {
+    num_latches: usize,
+    num_inputs: usize,
+    next_vars: Vec<Var>,
+    good_lits: Vec<Lit>,
+    constraint_lits: Vec<Lit>,
+    init_lits: Vec<Lit>,
+    cnf: Cnf,
+}
+
+impl TsEncoding {
+    /// Encodes the system's transition relation, property cones and
+    /// design constraints.
+    pub fn new(sys: &TransitionSystem) -> Self {
+        let aig = sys.aig();
+        let mut enc = CnfEncoder::new();
+        for latch in aig.latches() {
+            enc.pin(latch.node);
+        }
+        for &inp in aig.inputs() {
+            enc.pin(inp);
+        }
+        let good_lits: Vec<Lit> = sys
+            .properties()
+            .iter()
+            .map(|p| enc.lit_for(aig, p.good))
+            .collect();
+        let constraint_lits: Vec<Lit> = sys
+            .constraints()
+            .iter()
+            .map(|&c| enc.lit_for(aig, c))
+            .collect();
+        // Next-state variables with biconditional definitions.
+        let mut next_defs: Vec<(Var, Lit)> = Vec::with_capacity(aig.num_latches());
+        for latch in aig.latches() {
+            let f = enc.lit_for(aig, latch.next);
+            let v = enc.fresh();
+            next_defs.push((v, f));
+        }
+        let mut cnf = enc.take_new_clauses();
+        for &(v, f) in &next_defs {
+            cnf.add_clause(Clause::from_lits([v.neg(), f]));
+            cnf.add_clause(Clause::from_lits([v.pos(), !f]));
+        }
+        let init_lits = aig
+            .latches()
+            .iter()
+            .enumerate()
+            .map(|(i, l)| Var::new(i as u32).lit(!l.reset))
+            .collect();
+        TsEncoding {
+            num_latches: aig.num_latches(),
+            num_inputs: aig.num_inputs(),
+            next_vars: next_defs.into_iter().map(|(v, _)| v).collect(),
+            good_lits,
+            constraint_lits,
+            init_lits,
+            cnf,
+        }
+    }
+
+    /// Number of latches (state variables).
+    pub fn num_latches(&self) -> usize {
+        self.num_latches
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.num_inputs
+    }
+
+    /// Number of CNF variables used by the encoding.
+    pub fn num_vars(&self) -> u32 {
+        self.cnf.num_vars()
+    }
+
+    /// The present-state variable of latch `i`.
+    pub fn state_var(&self, i: usize) -> Var {
+        assert!(i < self.num_latches, "latch index out of range");
+        Var::new(i as u32)
+    }
+
+    /// The input variable of input `i`.
+    pub fn input_var(&self, i: usize) -> Var {
+        assert!(i < self.num_inputs, "input index out of range");
+        Var::new((self.num_latches + i) as u32)
+    }
+
+    /// The next-state variable of latch `i`.
+    pub fn next_var(&self, i: usize) -> Var {
+        self.next_vars[i]
+    }
+
+    /// Literal that is true iff property `p` *holds* in the present
+    /// state (under the present inputs).
+    pub fn good_lit(&self, p: PropertyId) -> Lit {
+        self.good_lits[p.index()]
+    }
+
+    /// Literal that is true iff property `p` is *violated*.
+    pub fn bad_lit(&self, p: PropertyId) -> Lit {
+        !self.good_lits[p.index()]
+    }
+
+    /// Design-constraint literals (present state).
+    pub fn constraint_lits(&self) -> &[Lit] {
+        &self.constraint_lits
+    }
+
+    /// Unit literals characterizing the single initial state.
+    pub fn init_lits(&self) -> &[Lit] {
+        &self.init_lits
+    }
+
+    /// The clauses of the encoding.
+    pub fn cnf(&self) -> &Cnf {
+        &self.cnf
+    }
+
+    /// Maps a present-state cube literal to its primed (next-state)
+    /// literal.
+    pub fn primed(&self, lit: Lit) -> Lit {
+        let i = lit.var().index() as usize;
+        assert!(i < self.num_latches, "not a state literal");
+        self.next_vars[i].lit(lit.is_negated())
+    }
+
+    /// Maps a whole cube to its primed literals.
+    pub fn primed_cube(&self, cube: &Cube) -> Vec<Lit> {
+        cube.iter().map(|&l| self.primed(l)).collect()
+    }
+
+    /// Loads the encoding into a fresh region of `solver` (which must
+    /// be empty or contain only this encoding's variables).
+    pub fn load_into(&self, solver: &mut Solver) {
+        solver.ensure_vars(self.cnf.num_vars());
+        for c in self.cnf.clauses() {
+            solver.add_clause(c.lits().iter().copied());
+        }
+    }
+
+    /// `true` if `cube` contains the initial state (every literal
+    /// agrees with the corresponding reset value).
+    pub fn cube_intersects_init(&self, cube: &Cube) -> bool {
+        cube.iter().all(|&l| {
+            let i = l.var().index() as usize;
+            self.init_lits[i] == l
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use japrove_aig::Aig;
+    use japrove_sat::SolveResult;
+    use japrove_tsys::Word;
+
+    fn counter_sys(bits: usize) -> TransitionSystem {
+        let mut aig = Aig::new();
+        let w = Word::latches(&mut aig, bits, 0);
+        let n = w.increment(&mut aig);
+        w.set_next(&mut aig, &n);
+        let safe = w.lt_const(&mut aig, (1 << bits) - 1);
+        let mut sys = TransitionSystem::new("cnt", aig);
+        sys.add_property("below_max", safe);
+        sys
+    }
+
+    #[test]
+    fn layout_is_dense() {
+        let sys = counter_sys(3);
+        let enc = TsEncoding::new(&sys);
+        assert_eq!(enc.num_latches(), 3);
+        assert_eq!(enc.state_var(0).index(), 0);
+        assert_eq!(enc.state_var(2).index(), 2);
+        assert!(enc.next_var(0).index() >= 3);
+    }
+
+    #[test]
+    fn transition_semantics_in_solver() {
+        let sys = counter_sys(3);
+        let enc = TsEncoding::new(&sys);
+        let mut solver = Solver::new();
+        enc.load_into(&mut solver);
+        // From state 3 the counter moves to 4: assume s=011, check s'.
+        let s3 = [
+            enc.state_var(0).pos(),
+            enc.state_var(1).pos(),
+            enc.state_var(2).neg(),
+        ];
+        let mut q = s3.to_vec();
+        q.push(enc.next_var(2).neg()); // claim bit2' = 0, contradiction
+        assert_eq!(solver.solve(&q), SolveResult::Unsat);
+        let mut q = s3.to_vec();
+        q.extend([
+            enc.next_var(0).neg(),
+            enc.next_var(1).neg(),
+            enc.next_var(2).pos(),
+        ]);
+        assert_eq!(solver.solve(&q), SolveResult::Sat);
+    }
+
+    #[test]
+    fn property_literal_semantics() {
+        let sys = counter_sys(3);
+        let enc = TsEncoding::new(&sys);
+        let p = PropertyId::new(0);
+        let mut solver = Solver::new();
+        enc.load_into(&mut solver);
+        // In state 7 the property "count < 7" is violated.
+        let s7 = [
+            enc.state_var(0).pos(),
+            enc.state_var(1).pos(),
+            enc.state_var(2).pos(),
+        ];
+        let mut q = s7.to_vec();
+        q.push(enc.good_lit(p));
+        assert_eq!(solver.solve(&q), SolveResult::Unsat);
+        let mut q = s7.to_vec();
+        q.push(enc.bad_lit(p));
+        assert_eq!(solver.solve(&q), SolveResult::Sat);
+    }
+
+    #[test]
+    fn init_cube_checks() {
+        let sys = counter_sys(2);
+        let enc = TsEncoding::new(&sys);
+        // Init is 00; the cube {!b0} contains it, {b0} does not.
+        let v0 = enc.state_var(0);
+        assert!(enc.cube_intersects_init(&Cube::from_lits([v0.neg()])));
+        assert!(!enc.cube_intersects_init(&Cube::from_lits([v0.pos()])));
+        assert!(enc.cube_intersects_init(&Cube::new()));
+    }
+
+    #[test]
+    fn primed_mapping() {
+        let sys = counter_sys(2);
+        let enc = TsEncoding::new(&sys);
+        let cube = Cube::from_lits([enc.state_var(0).pos(), enc.state_var(1).neg()]);
+        let primed = enc.primed_cube(&cube);
+        assert_eq!(primed.len(), 2);
+        assert_eq!(primed[0].var(), enc.next_var(0));
+        assert!(primed[1].is_negated());
+    }
+}

@@ -1,0 +1,264 @@
+//! Model-checking engines: IC3/PDR and BMC.
+//!
+//! This crate re-implements the paper's verification back-end:
+//!
+//! * [`Ic3`] — property-directed reachability (Bradley VMCAI'11,
+//!   Eén/Mishchenko/Brayton FMCAD'11) with inductive generalization,
+//!   state lifting with *respect*/*ignore* constraint modes (§7-A of
+//!   the paper), local-proof constraints realizing the `T^P`
+//!   projection (§2-C), and clause import for the re-use optimization
+//!   (§6),
+//! * [`Bmc`] — incremental bounded model checking (the paper's BMC
+//!   baseline of Table I),
+//! * [`verify_certificate`] — independent SAT-based checking of the
+//!   inductive invariants the engines emit,
+//! * [`TsEncoding`] — the shared CNF encoding of an `(I, T)`-system.
+//!
+//! # Examples
+//!
+//! ```
+//! use japrove_aig::Aig;
+//! use japrove_ic3::{Ic3, Ic3Options};
+//! use japrove_tsys::{TransitionSystem, Word};
+//!
+//! // A counter that wraps at 8 must stay below 12.
+//! let mut aig = Aig::new();
+//! let c = Word::latches(&mut aig, 4, 0);
+//! let wrap = c.eq_const(&mut aig, 7);
+//! let inc = c.increment(&mut aig);
+//! let zero = Word::constant(&mut aig, 0, 4);
+//! let next = Word::mux(&mut aig, wrap, &zero, &inc);
+//! c.set_next(&mut aig, &next);
+//! let safe = c.lt_const(&mut aig, 12);
+//! let mut sys = TransitionSystem::new("wrap8", aig);
+//! let p = sys.add_property("lt12", safe);
+//!
+//! let outcome = Ic3::new(&sys, p, Ic3Options::new()).run();
+//! assert!(outcome.is_proved());
+//! ```
+
+mod bmc;
+mod encode;
+mod engine;
+mod invariant;
+mod options;
+mod result;
+
+pub use bmc::{Bmc, BmcResult};
+pub use encode::TsEncoding;
+pub use engine::Ic3;
+pub use invariant::{verify_certificate, CertificateError};
+pub use options::{Ic3Options, Lifting};
+pub use result::{Certificate, CheckOutcome, Counterexample, RunStats, UnknownReason};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use japrove_aig::Aig;
+    use japrove_tsys::{replay, PropertyId, TransitionSystem, Word};
+
+    /// Free-running counter with property `count < limit`.
+    fn counter(bits: usize, limit: u64) -> (TransitionSystem, PropertyId) {
+        let mut aig = Aig::new();
+        let c = Word::latches(&mut aig, bits, 0);
+        let n = c.increment(&mut aig);
+        c.set_next(&mut aig, &n);
+        let safe = c.lt_const(&mut aig, limit);
+        let mut sys = TransitionSystem::new("cnt", aig);
+        let p = sys.add_property("bound", safe);
+        (sys, p)
+    }
+
+    /// The buggy counter of the paper's Example 1 at a given width.
+    fn paper_counter(bits: usize) -> (TransitionSystem, PropertyId, PropertyId) {
+        let mut aig = Aig::new();
+        let enable = aig.add_input();
+        let req = aig.add_input();
+        let rval = 1u64 << (bits - 1);
+        let val = Word::latches(&mut aig, bits, 0);
+        let at_rval = val.eq_const(&mut aig, rval);
+        // Buggy: reset requires req.
+        let reset = aig.and(at_rval, req);
+        let inc = val.increment(&mut aig);
+        let zero = Word::constant(&mut aig, 0, bits);
+        let updated = Word::mux(&mut aig, reset, &zero, &inc);
+        let next = Word::mux(&mut aig, enable, &updated, &val);
+        val.set_next(&mut aig, &next);
+        let le_rval = val.le_const(&mut aig, rval);
+        let mut sys = TransitionSystem::new("paper_counter", aig);
+        let p0 = sys.add_property("req_high", req);
+        let p1 = sys.add_property("val_le_rval", le_rval);
+        (sys, p0, p1)
+    }
+
+    #[test]
+    fn proves_true_counter_property() {
+        let (sys, p) = counter(4, 16);
+        let mut engine = Ic3::new(&sys, p, Ic3Options::new());
+        let outcome = engine.run();
+        let cert = outcome.certificate().expect("proved");
+        assert!(verify_certificate(&sys, p, &[], cert).is_ok());
+    }
+
+    #[test]
+    fn proves_nontrivial_invariant() {
+        // Counter wraps at 10 (4 bits); property count < 12 requires
+        // strengthening clauses.
+        let mut aig = Aig::new();
+        let c = Word::latches(&mut aig, 4, 0);
+        let wrap = c.eq_const(&mut aig, 9);
+        let inc = c.increment(&mut aig);
+        let zero = Word::constant(&mut aig, 0, 4);
+        let next = Word::mux(&mut aig, wrap, &zero, &inc);
+        c.set_next(&mut aig, &next);
+        let safe = c.lt_const(&mut aig, 12);
+        let mut sys = TransitionSystem::new("wrap10", aig);
+        let p = sys.add_property("lt12", safe);
+        let outcome = Ic3::new(&sys, p, Ic3Options::new()).run();
+        let cert = outcome.certificate().expect("proved");
+        assert!(verify_certificate(&sys, p, &[], cert).is_ok());
+    }
+
+    #[test]
+    fn finds_shallow_cex() {
+        let (sys, p) = counter(4, 3);
+        let outcome = Ic3::new(&sys, p, Ic3Options::new()).run();
+        let cex = outcome.counterexample().expect("falsified");
+        assert_eq!(cex.depth, 3);
+        let r = replay(&sys, &cex.trace).expect("replayable");
+        assert!(r.violates_finally(p));
+    }
+
+    #[test]
+    fn finds_deep_cex_with_few_frames() {
+        // 6-bit counter, bound 50: the counterexample needs 50 steps.
+        let (sys, p) = counter(6, 50);
+        let mut engine = Ic3::new(&sys, p, Ic3Options::new());
+        let outcome = engine.run();
+        let cex = outcome.counterexample().expect("falsified");
+        assert_eq!(cex.depth, 50);
+        let r = replay(&sys, &cex.trace).expect("replayable");
+        assert!(r.violates_finally(p));
+        assert_eq!(r.first_violation(p), Some(50));
+        // Far fewer frames than the counterexample depth (deep-CEX
+        // behaviour of obligation re-enqueueing).
+        assert!(
+            engine.stats().frames < 50,
+            "frames = {}",
+            engine.stats().frames
+        );
+    }
+
+    #[test]
+    fn input_dependent_property_fails_at_depth_zero() {
+        let (sys, p0, _) = paper_counter(4);
+        let outcome = Ic3::new(&sys, p0, Ic3Options::new()).run();
+        let cex = outcome.counterexample().expect("falsified");
+        assert_eq!(cex.depth, 0);
+        let r = replay(&sys, &cex.trace).expect("replayable");
+        assert!(r.violates_finally(p0));
+    }
+
+    #[test]
+    fn paper_example_p1_fails_globally() {
+        let (sys, _, p1) = paper_counter(4);
+        let outcome = Ic3::new(&sys, p1, Ic3Options::new()).run();
+        let cex = outcome.counterexample().expect("p1 is false globally");
+        // val must climb to rval + 1 = 9: depth 9 with enable on.
+        assert_eq!(cex.depth, 9);
+        let r = replay(&sys, &cex.trace).expect("replayable");
+        assert!(r.violates_finally(p1));
+    }
+
+    #[test]
+    fn paper_example_p1_holds_locally() {
+        // Assuming P0 (req == 1), property P1 becomes inductive: the
+        // counter always resets at rval.
+        let (sys, p0, p1) = paper_counter(8);
+        let mut engine = Ic3::with_context(&sys, p1, Ic3Options::new(), vec![p0, p1], Vec::new());
+        let outcome = engine.run();
+        let cert = outcome.certificate().expect("p1 holds locally");
+        assert!(verify_certificate(&sys, p1, &[p0, p1], cert).is_ok());
+        // The local proof needs very few frames independent of the
+        // counter width (Table I's point): far fewer than the 2^7 + 1
+        // steps a global counterexample would have to traverse.
+        assert!(engine.stats().frames <= 10, "frames = {}", engine.stats().frames);
+    }
+
+    #[test]
+    fn paper_example_p0_fails_locally() {
+        // P0 fails even assuming P1: the debugging set is {P0}.
+        let (sys, p0, p1) = paper_counter(4);
+        let outcome =
+            Ic3::with_context(&sys, p0, Ic3Options::new(), vec![p0, p1], Vec::new()).run();
+        let cex = outcome.counterexample().expect("p0 fails locally");
+        assert_eq!(cex.depth, 0);
+    }
+
+    #[test]
+    fn respect_mode_agrees_with_ignore_mode() {
+        let (sys, p0, p1) = paper_counter(5);
+        for lifting in [Lifting::Ignore, Lifting::Respect] {
+            let opts = Ic3Options::new().lifting(lifting);
+            let outcome = Ic3::with_context(&sys, p1, opts, vec![p0, p1], Vec::new()).run();
+            assert!(outcome.is_proved(), "lifting mode {lifting:?}");
+        }
+    }
+
+    /// Counter that wraps at `wrap` with property `count < limit`.
+    fn wrapping_counter(bits: usize, wrap: u64, limit: u64) -> (TransitionSystem, PropertyId) {
+        let mut aig = Aig::new();
+        let c = Word::latches(&mut aig, bits, 0);
+        let at_wrap = c.eq_const(&mut aig, wrap);
+        let inc = c.increment(&mut aig);
+        let zero = Word::constant(&mut aig, 0, bits);
+        let next = Word::mux(&mut aig, at_wrap, &zero, &inc);
+        c.set_next(&mut aig, &next);
+        let safe = c.lt_const(&mut aig, limit);
+        let mut sys = TransitionSystem::new("wrap", aig);
+        let p = sys.add_property("bound", safe);
+        (sys, p)
+    }
+
+    #[test]
+    fn imported_clauses_accepted_and_recertified() {
+        let (sys, p) = wrapping_counter(4, 9, 12);
+        // First run exports a certificate.
+        let outcome = Ic3::new(&sys, p, Ic3Options::new()).run();
+        let cert = outcome.certificate().expect("proved").clone();
+        // Second run on a weaker property imports those clauses.
+        let mut sys2 = sys.clone();
+        let aig = sys2.aig_mut();
+        // (re-derive the comparison over the same latches)
+        let c = Word::from_bits(
+            aig.latches()
+                .iter()
+                .map(|l| japrove_aig::AigLit::new(l.node, false))
+                .collect(),
+        );
+        let weaker = c.lt_const(aig, 14);
+        let q = sys2.add_property("lt14", weaker);
+        let outcome2 =
+            Ic3::with_context(&sys2, q, Ic3Options::new(), Vec::new(), cert.clauses.clone()).run();
+        let cert2 = outcome2.certificate().expect("proved with imports");
+        assert!(verify_certificate(&sys2, q, &[], cert2).is_ok());
+    }
+
+    #[test]
+    fn frame_limit_reports_unknown() {
+        let (sys, p) = counter(6, 50);
+        let outcome =
+            Ic3::new(&sys, p, Ic3Options::new().max_frames(2).push_obligations(false)).run();
+        assert!(outcome.is_unknown() || outcome.is_falsified());
+    }
+
+    #[test]
+    fn budget_reports_unknown() {
+        use japrove_sat::Budget;
+        use std::time::Duration;
+        let (sys, p) = counter(10, 1000);
+        let opts = Ic3Options::new().budget(Budget::timeout(Duration::from_millis(1)));
+        let outcome = Ic3::new(&sys, p, opts).run();
+        assert!(outcome.is_unknown() || outcome.is_falsified());
+    }
+}

@@ -1,0 +1,120 @@
+//! Engine configuration.
+
+use japrove_sat::Budget;
+
+/// How state lifting treats the property constraints of a local proof
+/// (§7-A of the paper).
+///
+/// Respecting guarantees every state of a lifted cube satisfies the
+/// constraints; ignoring lifts against the raw transition relation,
+/// which produces larger cubes but can yield spurious counterexamples
+/// (detected by replay, after which the engine is re-run in respecting
+/// mode).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Lifting {
+    /// Conjoin the constraints into the lifting query.
+    Respect,
+    /// Ignore the constraints while lifting (the paper's default).
+    #[default]
+    Ignore,
+}
+
+/// Options for a single IC3 (or BMC) run.
+///
+/// # Examples
+///
+/// ```
+/// use japrove_ic3::{Ic3Options, Lifting};
+/// use japrove_sat::Budget;
+/// use std::time::Duration;
+///
+/// let opts = Ic3Options::new()
+///     .lifting(Lifting::Respect)
+///     .max_frames(100)
+///     .budget(Budget::timeout(Duration::from_secs(1)));
+/// assert_eq!(opts.lifting, Lifting::Respect);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Ic3Options {
+    /// Lifting mode for local proofs.
+    pub lifting: Lifting,
+    /// Hard cap on the number of frames (time frames unrolled).
+    pub max_frames: usize,
+    /// Wall-clock / conflict budget for the whole run.
+    pub budget: Budget,
+    /// Maximum literal-dropping passes during inductive generalization.
+    pub generalize_passes: usize,
+    /// Re-enqueue blocked obligations one frame up (finds deep
+    /// counterexamples with few frames, as ABC's `pdr` does).
+    pub push_obligations: bool,
+    /// Rebuild the consecution solver after this many temporary
+    /// activation clauses have accumulated.
+    pub rebuild_interval: usize,
+}
+
+impl Ic3Options {
+    /// Default options: ignore-mode lifting, generous limits.
+    pub fn new() -> Self {
+        Ic3Options {
+            lifting: Lifting::default(),
+            max_frames: 100_000,
+            budget: Budget::unlimited(),
+            generalize_passes: 1,
+            push_obligations: true,
+            rebuild_interval: 3000,
+        }
+    }
+
+    /// Sets the lifting mode.
+    pub fn lifting(mut self, lifting: Lifting) -> Self {
+        self.lifting = lifting;
+        self
+    }
+
+    /// Sets the frame cap.
+    pub fn max_frames(mut self, max_frames: usize) -> Self {
+        self.max_frames = max_frames;
+        self
+    }
+
+    /// Sets the run budget.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the number of generalization passes.
+    pub fn generalize_passes(mut self, passes: usize) -> Self {
+        self.generalize_passes = passes;
+        self
+    }
+
+    /// Enables or disables obligation re-enqueueing.
+    pub fn push_obligations(mut self, yes: bool) -> Self {
+        self.push_obligations = yes;
+        self
+    }
+}
+
+impl Default for Ic3Options {
+    fn default() -> Self {
+        Ic3Options::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let o = Ic3Options::new()
+            .max_frames(5)
+            .generalize_passes(3)
+            .push_obligations(false);
+        assert_eq!(o.max_frames, 5);
+        assert_eq!(o.generalize_passes, 3);
+        assert!(!o.push_obligations);
+        assert_eq!(o.lifting, Lifting::Ignore);
+    }
+}

@@ -1,0 +1,162 @@
+//! Verdicts, certificates and statistics.
+
+use japrove_logic::Clause;
+use japrove_tsys::Trace;
+use std::fmt;
+
+/// An inductive-invariant certificate over *state* variables.
+///
+/// Clause literals use variable index `i` for latch `i`; the invariant
+/// is the conjunction of the property with these clauses. Certificates
+/// are the currency of the paper's clause re-use (§6): they
+/// over-approximate the reachable states and may seed the frames of a
+/// later IC3 run on the same `(I, T)`-system.
+#[derive(Clone, Debug, Default)]
+pub struct Certificate {
+    /// Strengthening clauses over latch variables.
+    pub clauses: Vec<Clause>,
+}
+
+impl Certificate {
+    /// Number of strengthening clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// `true` if the certificate needs no strengthening clauses (the
+    /// property itself is inductive).
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+}
+
+/// A counterexample: a concrete trace plus bookkeeping.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// The concrete witness; its final state (under its final inputs)
+    /// violates the property.
+    pub trace: Trace,
+    /// Number of transitions (the paper's CEX depth).
+    pub depth: usize,
+}
+
+/// Why a run ended without an answer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UnknownReason {
+    /// The conflict or wall-clock budget was exhausted.
+    Budget,
+    /// The frame cap was reached.
+    FrameLimit,
+}
+
+impl fmt::Display for UnknownReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnknownReason::Budget => write!(f, "budget exhausted"),
+            UnknownReason::FrameLimit => write!(f, "frame limit reached"),
+        }
+    }
+}
+
+/// Outcome of a model-checking run on one property.
+#[derive(Clone, Debug)]
+pub enum CheckOutcome {
+    /// The property holds; the certificate strengthens it to an
+    /// inductive invariant.
+    Proved(Certificate),
+    /// The property fails; a concrete counterexample is attached.
+    Falsified(Counterexample),
+    /// Resources ran out first.
+    Unknown(UnknownReason),
+}
+
+impl CheckOutcome {
+    /// `true` if the property was proved.
+    pub fn is_proved(&self) -> bool {
+        matches!(self, CheckOutcome::Proved(_))
+    }
+
+    /// `true` if the property was falsified.
+    pub fn is_falsified(&self) -> bool {
+        matches!(self, CheckOutcome::Falsified(_))
+    }
+
+    /// `true` if the run was inconclusive.
+    pub fn is_unknown(&self) -> bool {
+        matches!(self, CheckOutcome::Unknown(_))
+    }
+
+    /// The counterexample, if falsified.
+    pub fn counterexample(&self) -> Option<&Counterexample> {
+        match self {
+            CheckOutcome::Falsified(cex) => Some(cex),
+            _ => None,
+        }
+    }
+
+    /// The certificate, if proved.
+    pub fn certificate(&self) -> Option<&Certificate> {
+        match self {
+            CheckOutcome::Proved(cert) => Some(cert),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CheckOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckOutcome::Proved(c) => write!(f, "proved ({} clauses)", c.len()),
+            CheckOutcome::Falsified(cex) => write!(f, "falsified (depth {})", cex.depth),
+            CheckOutcome::Unknown(r) => write!(f, "unknown ({r})"),
+        }
+    }
+}
+
+/// Counters describing one engine run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Frames opened (paper tables report this as "#time frames").
+    pub frames: usize,
+    /// Consecution/bad/lift SAT queries issued.
+    pub queries: u64,
+    /// Clauses currently retained across all frames.
+    pub clauses: usize,
+    /// Obligations processed.
+    pub obligations: u64,
+    /// Counterexamples-to-induction generalized away.
+    pub generalized_lits: u64,
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "frames={} queries={} clauses={} obligations={}",
+            self.frames, self.queries, self.clauses, self.obligations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_accessors() {
+        let proved = CheckOutcome::Proved(Certificate::default());
+        assert!(proved.is_proved());
+        assert!(proved.certificate().is_some());
+        assert!(proved.counterexample().is_none());
+        let unknown = CheckOutcome::Unknown(UnknownReason::Budget);
+        assert!(unknown.is_unknown());
+        assert!(unknown.to_string().contains("budget"));
+    }
+
+    #[test]
+    fn certificate_emptiness() {
+        let c = Certificate::default();
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+    }
+}

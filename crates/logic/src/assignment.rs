@@ -1,0 +1,287 @@
+//! Ternary-valued assignments.
+
+use crate::{Clause, Cube, Lit, Var};
+use std::fmt;
+use std::ops::Not;
+
+/// A lifted Boolean: true, false or undefined.
+///
+/// # Examples
+///
+/// ```
+/// use japrove_logic::LBool;
+/// assert_eq!(!LBool::True, LBool::False);
+/// assert_eq!(!LBool::Undef, LBool::Undef);
+/// assert!(LBool::True.is_true());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum LBool {
+    /// Assigned true.
+    True,
+    /// Assigned false.
+    False,
+    /// Not assigned.
+    #[default]
+    Undef,
+}
+
+impl LBool {
+    /// Lifts a concrete Boolean.
+    #[inline]
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            LBool::True
+        } else {
+            LBool::False
+        }
+    }
+
+    /// Returns `true` iff the value is [`LBool::True`].
+    #[inline]
+    pub fn is_true(self) -> bool {
+        self == LBool::True
+    }
+
+    /// Returns `true` iff the value is [`LBool::False`].
+    #[inline]
+    pub fn is_false(self) -> bool {
+        self == LBool::False
+    }
+
+    /// Returns `true` iff the value is [`LBool::Undef`].
+    #[inline]
+    pub fn is_undef(self) -> bool {
+        self == LBool::Undef
+    }
+
+    /// Converts to a concrete Boolean if defined.
+    #[inline]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            LBool::True => Some(true),
+            LBool::False => Some(false),
+            LBool::Undef => None,
+        }
+    }
+
+    /// Applies a sign: `xor(self, negate)` with `Undef` absorbing.
+    #[inline]
+    pub fn apply_sign(self, negate: bool) -> Self {
+        if negate {
+            !self
+        } else {
+            self
+        }
+    }
+}
+
+impl Not for LBool {
+    type Output = LBool;
+
+    #[inline]
+    fn not(self) -> LBool {
+        match self {
+            LBool::True => LBool::False,
+            LBool::False => LBool::True,
+            LBool::Undef => LBool::Undef,
+        }
+    }
+}
+
+impl From<bool> for LBool {
+    #[inline]
+    fn from(b: bool) -> Self {
+        LBool::from_bool(b)
+    }
+}
+
+impl fmt::Display for LBool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LBool::True => write!(f, "1"),
+            LBool::False => write!(f, "0"),
+            LBool::Undef => write!(f, "x"),
+        }
+    }
+}
+
+/// A dense ternary assignment over variables `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use japrove_logic::{Assignment, LBool, Var};
+/// let mut a = Assignment::new(4);
+/// a.assign(Var::new(2), true);
+/// assert_eq!(a.value(Var::new(2)), LBool::True);
+/// assert_eq!(a.lit_value(Var::new(2).neg()), LBool::False);
+/// assert!(a.value(Var::new(0)).is_undef());
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Assignment {
+    values: Vec<LBool>,
+}
+
+impl Assignment {
+    /// Creates an all-undefined assignment over `num_vars` variables.
+    pub fn new(num_vars: usize) -> Self {
+        Assignment {
+            values: vec![LBool::Undef; num_vars],
+        }
+    }
+
+    /// Number of variables covered.
+    pub fn num_vars(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Grows the assignment to cover at least `num_vars` variables.
+    pub fn grow(&mut self, num_vars: usize) {
+        if num_vars > self.values.len() {
+            self.values.resize(num_vars, LBool::Undef);
+        }
+    }
+
+    /// Sets the value of `var`.
+    pub fn assign(&mut self, var: Var, value: bool) {
+        self.grow(var.index() as usize + 1);
+        self.values[var.index() as usize] = LBool::from_bool(value);
+    }
+
+    /// Makes the literal true (assigns its variable accordingly).
+    pub fn assign_lit(&mut self, lit: Lit) {
+        self.assign(lit.var(), lit.is_positive());
+    }
+
+    /// Clears the value of `var`.
+    pub fn unassign(&mut self, var: Var) {
+        if (var.index() as usize) < self.values.len() {
+            self.values[var.index() as usize] = LBool::Undef;
+        }
+    }
+
+    /// Returns the value of `var` (`Undef` if out of range).
+    #[inline]
+    pub fn value(&self, var: Var) -> LBool {
+        self.values
+            .get(var.index() as usize)
+            .copied()
+            .unwrap_or(LBool::Undef)
+    }
+
+    /// Returns the value of a literal under this assignment.
+    #[inline]
+    pub fn lit_value(&self, lit: Lit) -> LBool {
+        self.value(lit.var()).apply_sign(lit.is_negated())
+    }
+
+    /// Evaluates a clause: true if some literal is true, false if all
+    /// literals are false, undefined otherwise.
+    pub fn eval_clause(&self, clause: &Clause) -> LBool {
+        let mut all_false = true;
+        for &l in clause.lits() {
+            match self.lit_value(l) {
+                LBool::True => return LBool::True,
+                LBool::False => {}
+                LBool::Undef => all_false = false,
+            }
+        }
+        if all_false {
+            LBool::False
+        } else {
+            LBool::Undef
+        }
+    }
+
+    /// Evaluates a cube: false if some literal is false, true if all
+    /// literals are true, undefined otherwise.
+    pub fn eval_cube(&self, cube: &Cube) -> LBool {
+        let mut all_true = true;
+        for &l in cube.lits() {
+            match self.lit_value(l) {
+                LBool::False => return LBool::False,
+                LBool::True => {}
+                LBool::Undef => all_true = false,
+            }
+        }
+        if all_true {
+            LBool::True
+        } else {
+            LBool::Undef
+        }
+    }
+
+    /// Iterates over the assigned literals (skips undefined variables).
+    pub fn assigned_lits(&self) -> impl Iterator<Item = Lit> + '_ {
+        self.values.iter().enumerate().filter_map(|(i, v)| {
+            v.to_bool()
+                .map(|b| Var::new(i as u32).lit(!b))
+        })
+    }
+}
+
+impl fmt::Debug for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Assignment[")?;
+        for v in &self.values {
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lbool_negation_table() {
+        assert_eq!(!LBool::True, LBool::False);
+        assert_eq!(!LBool::False, LBool::True);
+        assert_eq!(!LBool::Undef, LBool::Undef);
+    }
+
+    #[test]
+    fn assignment_basic_flow() {
+        let mut a = Assignment::new(2);
+        let v = Var::new(1);
+        assert!(a.value(v).is_undef());
+        a.assign(v, false);
+        assert!(a.value(v).is_false());
+        assert!(a.lit_value(v.neg()).is_true());
+        a.unassign(v);
+        assert!(a.value(v).is_undef());
+    }
+
+    #[test]
+    fn out_of_range_reads_are_undef() {
+        let a = Assignment::new(1);
+        assert!(a.value(Var::new(10)).is_undef());
+    }
+
+    #[test]
+    fn clause_and_cube_evaluation() {
+        let x = Var::new(0);
+        let y = Var::new(1);
+        let mut a = Assignment::new(2);
+        let clause = Clause::from_lits([x.pos(), y.pos()]);
+        let cube = Cube::from_lits([x.pos(), y.pos()]);
+        assert!(a.eval_clause(&clause).is_undef());
+        a.assign(x, false);
+        assert!(a.eval_clause(&clause).is_undef());
+        assert!(a.eval_cube(&cube).is_false());
+        a.assign(y, true);
+        assert!(a.eval_clause(&clause).is_true());
+        a.assign(y, false);
+        assert!(a.eval_clause(&clause).is_false());
+    }
+
+    #[test]
+    fn assigned_lits_round_trip() {
+        let mut a = Assignment::new(3);
+        a.assign_lit(Var::new(0).neg());
+        a.assign_lit(Var::new(2).pos());
+        let lits: Vec<Lit> = a.assigned_lits().collect();
+        assert_eq!(lits, vec![Var::new(0).neg(), Var::new(2).pos()]);
+    }
+}

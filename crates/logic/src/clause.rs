@@ -1,0 +1,241 @@
+//! Disjunctions of literals.
+
+use crate::{Cube, Lit};
+use std::fmt;
+
+/// A clause: a disjunction of literals.
+///
+/// The empty clause represents `false`. Literal order is preserved as
+/// given; [`Clause::normalized`] produces a sorted, duplicate-free copy
+/// and reports tautologies.
+///
+/// # Examples
+///
+/// ```
+/// use japrove_logic::{Clause, Var};
+/// let x = Var::new(0);
+/// let c = Clause::from_lits([x.pos(), x.neg()]);
+/// assert!(c.normalized().is_none()); // x | !x is a tautology
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Clause {
+    lits: Vec<Lit>,
+}
+
+impl Clause {
+    /// Creates the empty clause (`false`).
+    pub fn new() -> Self {
+        Clause { lits: Vec::new() }
+    }
+
+    /// Creates a clause from the given literals, preserving order.
+    pub fn from_lits<I: IntoIterator<Item = Lit>>(lits: I) -> Self {
+        Clause {
+            lits: lits.into_iter().collect(),
+        }
+    }
+
+    /// Creates the unit clause containing only `lit`.
+    pub fn unit(lit: Lit) -> Self {
+        Clause { lits: vec![lit] }
+    }
+
+    /// Returns the literals of this clause.
+    #[inline]
+    pub fn lits(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// Number of literals.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// Returns `true` for the empty clause.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// Returns `true` if the clause contains `lit`.
+    pub fn contains(&self, lit: Lit) -> bool {
+        self.lits.contains(&lit)
+    }
+
+    /// Iterates over the literals.
+    pub fn iter(&self) -> std::slice::Iter<'_, Lit> {
+        self.lits.iter()
+    }
+
+    /// Appends a literal.
+    pub fn push(&mut self, lit: Lit) {
+        self.lits.push(lit);
+    }
+
+    /// Returns a sorted, duplicate-free copy, or `None` if the clause
+    /// is a tautology (contains both `l` and `!l`).
+    pub fn normalized(&self) -> Option<Clause> {
+        let mut lits = self.lits.clone();
+        lits.sort_unstable();
+        lits.dedup();
+        for w in lits.windows(2) {
+            if w[0].var() == w[1].var() {
+                return None;
+            }
+        }
+        Some(Clause { lits })
+    }
+
+    /// Returns the negation of this clause as a cube of literals.
+    ///
+    /// `!(a | b | c)` is the cube `!a & !b & !c`.
+    pub fn to_cube(&self) -> Cube {
+        Cube::from_lits(self.lits.iter().map(|&l| !l))
+    }
+
+    /// Structural subsumption check: `true` if every literal of `self`
+    /// occurs in `other` (then `self` implies `other`).
+    ///
+    /// Both clauses must be sorted (e.g. produced by
+    /// [`Clause::normalized`]); otherwise the result is meaningless.
+    pub fn subsumes_sorted(&self, other: &Clause) -> bool {
+        if self.len() > other.len() {
+            return false;
+        }
+        let mut oi = 0;
+        for &l in &self.lits {
+            loop {
+                if oi == other.lits.len() {
+                    return false;
+                }
+                let o = other.lits[oi];
+                oi += 1;
+                if o == l {
+                    break;
+                }
+                if o > l {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Consumes the clause and returns its literal vector.
+    pub fn into_lits(self) -> Vec<Lit> {
+        self.lits
+    }
+}
+
+impl FromIterator<Lit> for Clause {
+    fn from_iter<I: IntoIterator<Item = Lit>>(iter: I) -> Self {
+        Clause::from_lits(iter)
+    }
+}
+
+impl Extend<Lit> for Clause {
+    fn extend<I: IntoIterator<Item = Lit>>(&mut self, iter: I) {
+        self.lits.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a Clause {
+    type Item = &'a Lit;
+    type IntoIter = std::slice::Iter<'a, Lit>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.lits.iter()
+    }
+}
+
+impl IntoIterator for Clause {
+    type Item = Lit;
+    type IntoIter = std::vec::IntoIter<Lit>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.lits.into_iter()
+    }
+}
+
+impl From<Vec<Lit>> for Clause {
+    fn from(lits: Vec<Lit>) -> Self {
+        Clause { lits }
+    }
+}
+
+impl fmt::Debug for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, l) in self.lits.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{l:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Var;
+
+    fn lit(i: u32, neg: bool) -> Lit {
+        Var::new(i).lit(neg)
+    }
+
+    #[test]
+    fn normalize_sorts_and_dedups() {
+        let c = Clause::from_lits([lit(2, false), lit(0, true), lit(2, false)]);
+        let n = c.normalized().expect("not a tautology");
+        assert_eq!(n.lits(), &[lit(0, true), lit(2, false)]);
+    }
+
+    #[test]
+    fn normalize_detects_tautology() {
+        let c = Clause::from_lits([lit(1, false), lit(1, true)]);
+        assert!(c.normalized().is_none());
+    }
+
+    #[test]
+    fn negation_gives_cube() {
+        let c = Clause::from_lits([lit(0, false), lit(1, true)]);
+        let cube = c.to_cube();
+        assert_eq!(cube.lits(), &[lit(0, true), lit(1, false)]);
+    }
+
+    #[test]
+    fn subsumption_on_sorted_clauses() {
+        let small = Clause::from_lits([lit(0, false), lit(3, true)]);
+        let big = Clause::from_lits([lit(0, false), lit(1, false), lit(3, true)]);
+        assert!(small.subsumes_sorted(&big));
+        assert!(!big.subsumes_sorted(&small));
+        let other = Clause::from_lits([lit(0, true), lit(3, true)]);
+        assert!(!other.subsumes_sorted(&big));
+    }
+
+    #[test]
+    fn empty_clause_properties() {
+        let c = Clause::new();
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+        assert!(c.subsumes_sorted(&Clause::unit(lit(0, false))));
+    }
+
+    #[test]
+    fn collect_and_iterate() {
+        let c: Clause = [lit(0, false), lit(1, false)].into_iter().collect();
+        let back: Vec<Lit> = c.iter().copied().collect();
+        assert_eq!(back.len(), 2);
+        assert!(c.contains(lit(1, false)));
+        assert!(!c.contains(lit(1, true)));
+    }
+}

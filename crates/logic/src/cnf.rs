@@ -1,0 +1,196 @@
+//! CNF formulas.
+
+use crate::{Assignment, Clause, LBool, Lit, Var};
+use std::fmt;
+
+/// A formula in conjunctive normal form.
+///
+/// Tracks the number of variables (clauses may not mention them all)
+/// and owns its clauses.
+///
+/// # Examples
+///
+/// ```
+/// use japrove_logic::{Cnf, Clause, Var};
+/// let mut cnf = Cnf::new();
+/// let x = cnf.fresh_var();
+/// let y = cnf.fresh_var();
+/// cnf.add_clause(Clause::from_lits([x.pos(), y.pos()]));
+/// cnf.add_clause(Clause::unit(x.neg()));
+/// assert_eq!(cnf.num_vars(), 2);
+/// assert_eq!(cnf.num_clauses(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Cnf {
+    num_vars: u32,
+    clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// Creates an empty formula with no variables.
+    pub fn new() -> Self {
+        Cnf::default()
+    }
+
+    /// Creates an empty formula that already accounts for `num_vars`
+    /// variables.
+    pub fn with_vars(num_vars: u32) -> Self {
+        Cnf {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    #[inline]
+    pub fn num_vars(&self) -> u32 {
+        self.num_vars
+    }
+
+    /// Number of clauses.
+    #[inline]
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Returns the clauses.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Allocates a fresh variable.
+    pub fn fresh_var(&mut self) -> Var {
+        let v = Var::new(self.num_vars);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Ensures the formula accounts for variables `0..num_vars`.
+    pub fn ensure_vars(&mut self, num_vars: u32) {
+        self.num_vars = self.num_vars.max(num_vars);
+    }
+
+    /// Adds a clause, growing the variable count as needed.
+    pub fn add_clause(&mut self, clause: Clause) {
+        for &l in clause.lits() {
+            self.num_vars = self.num_vars.max(l.var().index() + 1);
+        }
+        self.clauses.push(clause);
+    }
+
+    /// Adds a clause built from the given literals.
+    pub fn add_lits<I: IntoIterator<Item = Lit>>(&mut self, lits: I) {
+        self.add_clause(Clause::from_lits(lits));
+    }
+
+    /// Appends all clauses of `other`.
+    pub fn append(&mut self, other: &Cnf) {
+        self.num_vars = self.num_vars.max(other.num_vars);
+        self.clauses.extend(other.clauses.iter().cloned());
+    }
+
+    /// Evaluates the formula under a (possibly partial) assignment.
+    pub fn eval(&self, assignment: &Assignment) -> LBool {
+        let mut all_true = true;
+        for c in &self.clauses {
+            match assignment.eval_clause(c) {
+                LBool::False => return LBool::False,
+                LBool::True => {}
+                LBool::Undef => all_true = false,
+            }
+        }
+        if all_true {
+            LBool::True
+        } else {
+            LBool::Undef
+        }
+    }
+
+    /// Iterates over the clauses.
+    pub fn iter(&self) -> std::slice::Iter<'_, Clause> {
+        self.clauses.iter()
+    }
+}
+
+impl FromIterator<Clause> for Cnf {
+    fn from_iter<I: IntoIterator<Item = Clause>>(iter: I) -> Self {
+        let mut cnf = Cnf::new();
+        for c in iter {
+            cnf.add_clause(c);
+        }
+        cnf
+    }
+}
+
+impl Extend<Clause> for Cnf {
+    fn extend<I: IntoIterator<Item = Clause>>(&mut self, iter: I) {
+        for c in iter {
+            self.add_clause(c);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Cnf {
+    type Item = &'a Clause;
+    type IntoIter = std::slice::Iter<'a, Clause>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.clauses.iter()
+    }
+}
+
+impl fmt::Debug for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Cnf({} vars, {} clauses)", self.num_vars, self.clauses.len())?;
+        for c in &self.clauses {
+            writeln!(f, "  {c:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variable_count_tracks_clauses() {
+        let mut cnf = Cnf::new();
+        cnf.add_lits([Var::new(4).pos()]);
+        assert_eq!(cnf.num_vars(), 5);
+        let v = cnf.fresh_var();
+        assert_eq!(v.index(), 5);
+        assert_eq!(cnf.num_vars(), 6);
+    }
+
+    #[test]
+    fn append_merges_formulas() {
+        let mut a = Cnf::with_vars(2);
+        a.add_lits([Var::new(0).pos()]);
+        let mut b = Cnf::with_vars(4);
+        b.add_lits([Var::new(3).neg()]);
+        a.append(&b);
+        assert_eq!(a.num_vars(), 4);
+        assert_eq!(a.num_clauses(), 2);
+    }
+
+    #[test]
+    fn evaluation_three_valued() {
+        let x = Var::new(0);
+        let y = Var::new(1);
+        let cnf: Cnf = [
+            Clause::from_lits([x.pos(), y.pos()]),
+            Clause::unit(y.neg()),
+        ]
+        .into_iter()
+        .collect();
+        let mut a = Assignment::new(2);
+        assert!(cnf.eval(&a).is_undef());
+        a.assign(y, false);
+        assert!(cnf.eval(&a).is_undef());
+        a.assign(x, true);
+        assert!(cnf.eval(&a).is_true());
+        a.assign(x, false);
+        assert!(cnf.eval(&a).is_false());
+    }
+}

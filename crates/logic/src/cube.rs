@@ -1,0 +1,226 @@
+//! Conjunctions of literals (cubes), the currency of IC3.
+
+use crate::{Clause, Lit};
+use std::fmt;
+
+/// A cube: a conjunction of literals, kept sorted and duplicate-free.
+///
+/// IC3 manipulates (generalized) states as cubes; blocking a cube adds
+/// its negation — a clause — to a frame. The sorted representation
+/// makes subsumption checks and set-like operations linear.
+///
+/// # Examples
+///
+/// ```
+/// use japrove_logic::{Cube, Var};
+/// let x = Var::new(0);
+/// let y = Var::new(1);
+/// let c = Cube::from_lits([y.neg(), x.pos()]);
+/// assert_eq!(c.lits(), &[x.pos(), y.neg()]); // sorted
+/// assert_eq!(c.to_clause().lits(), &[x.neg(), y.pos()]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Cube {
+    lits: Vec<Lit>,
+}
+
+impl Cube {
+    /// Creates the empty cube (`true`).
+    pub fn new() -> Self {
+        Cube { lits: Vec::new() }
+    }
+
+    /// Creates a cube from literals; sorts and deduplicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the literals contain a variable together with its
+    /// negation (an inconsistent cube).
+    pub fn from_lits<I: IntoIterator<Item = Lit>>(lits: I) -> Self {
+        let mut lits: Vec<Lit> = lits.into_iter().collect();
+        lits.sort_unstable();
+        lits.dedup();
+        for w in lits.windows(2) {
+            assert!(w[0].var() != w[1].var(), "inconsistent cube: {:?}", w);
+        }
+        Cube { lits }
+    }
+
+    /// Returns the literals of this cube in sorted order.
+    #[inline]
+    pub fn lits(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// Number of literals.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.lits.len()
+    }
+
+    /// Returns `true` for the empty cube.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lits.is_empty()
+    }
+
+    /// Returns `true` if the cube contains `lit`.
+    pub fn contains(&self, lit: Lit) -> bool {
+        self.lits.binary_search(&lit).is_ok()
+    }
+
+    /// Iterates over the literals.
+    pub fn iter(&self) -> std::slice::Iter<'_, Lit> {
+        self.lits.iter()
+    }
+
+    /// Returns the negation of this cube as a clause.
+    pub fn to_clause(&self) -> Clause {
+        Clause::from_lits(self.lits.iter().map(|&l| !l))
+    }
+
+    /// Returns a copy without the literal at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn without_index(&self, index: usize) -> Cube {
+        let mut lits = self.lits.clone();
+        lits.remove(index);
+        Cube { lits }
+    }
+
+    /// Returns a copy without the given literal (no-op if absent).
+    pub fn without_lit(&self, lit: Lit) -> Cube {
+        Cube {
+            lits: self.lits.iter().copied().filter(|&l| l != lit).collect(),
+        }
+    }
+
+    /// Set-like subsumption: `true` if every literal of `self` occurs
+    /// in `other` (so `other` implies `self` as conjunctions).
+    pub fn subsumes(&self, other: &Cube) -> bool {
+        if self.len() > other.len() {
+            return false;
+        }
+        let mut oi = 0;
+        for &l in &self.lits {
+            loop {
+                if oi == other.lits.len() {
+                    return false;
+                }
+                let o = other.lits[oi];
+                oi += 1;
+                if o == l {
+                    break;
+                }
+                if o > l {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Consumes the cube and returns its sorted literal vector.
+    pub fn into_lits(self) -> Vec<Lit> {
+        self.lits
+    }
+}
+
+impl FromIterator<Lit> for Cube {
+    fn from_iter<I: IntoIterator<Item = Lit>>(iter: I) -> Self {
+        Cube::from_lits(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a Cube {
+    type Item = &'a Lit;
+    type IntoIter = std::slice::Iter<'a, Lit>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.lits.iter()
+    }
+}
+
+impl IntoIterator for Cube {
+    type Item = Lit;
+    type IntoIter = std::vec::IntoIter<Lit>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.lits.into_iter()
+    }
+}
+
+impl fmt::Debug for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, l) in self.lits.iter().enumerate() {
+            if i > 0 {
+                write!(f, " & ")?;
+            }
+            write!(f, "{l:?}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for Cube {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Var;
+
+    fn lit(i: u32, neg: bool) -> Lit {
+        Var::new(i).lit(neg)
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let c = Cube::from_lits([lit(3, true), lit(1, false), lit(3, true)]);
+        assert_eq!(c.lits(), &[lit(1, false), lit(3, true)]);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent cube")]
+    fn inconsistent_cube_panics() {
+        let _ = Cube::from_lits([lit(0, false), lit(0, true)]);
+    }
+
+    #[test]
+    fn clause_cube_duality() {
+        let cube = Cube::from_lits([lit(0, false), lit(2, true)]);
+        let clause = cube.to_clause();
+        assert_eq!(clause.to_cube(), cube);
+    }
+
+    #[test]
+    fn subsumption_is_subset_relation() {
+        let small = Cube::from_lits([lit(1, false)]);
+        let big = Cube::from_lits([lit(0, true), lit(1, false), lit(2, false)]);
+        assert!(small.subsumes(&big));
+        assert!(!big.subsumes(&small));
+        assert!(Cube::new().subsumes(&small));
+    }
+
+    #[test]
+    fn literal_removal() {
+        let c = Cube::from_lits([lit(0, false), lit(1, true), lit(2, false)]);
+        assert_eq!(c.without_index(1).lits(), &[lit(0, false), lit(2, false)]);
+        assert_eq!(c.without_lit(lit(2, false)).len(), 2);
+        assert_eq!(c.without_lit(lit(9, false)).len(), 3);
+    }
+
+    #[test]
+    fn membership_via_binary_search() {
+        let c = Cube::from_lits([lit(0, false), lit(5, true)]);
+        assert!(c.contains(lit(5, true)));
+        assert!(!c.contains(lit(5, false)));
+    }
+}

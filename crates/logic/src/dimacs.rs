@@ -1,0 +1,205 @@
+//! DIMACS CNF reading and writing.
+
+use crate::{Clause, Cnf, Lit, Var};
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Error produced by [`parse_dimacs`].
+#[derive(Debug)]
+pub enum ParseDimacsError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Malformed content, with a line number and message.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseDimacsError::Io(e) => write!(f, "i/o error while reading dimacs: {e}"),
+            ParseDimacsError::Syntax { line, message } => {
+                write!(f, "dimacs syntax error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for ParseDimacsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseDimacsError::Io(e) => Some(e),
+            ParseDimacsError::Syntax { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseDimacsError {
+    fn from(e: io::Error) -> Self {
+        ParseDimacsError::Io(e)
+    }
+}
+
+/// Parses a DIMACS CNF file.
+///
+/// Accepts the usual liberal format: comment lines starting with `c`,
+/// an optional `p cnf <vars> <clauses>` header, and clauses terminated
+/// by `0` possibly spanning lines. A mut reference can be passed as the
+/// reader.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on I/O failure or malformed input
+/// (non-integer token, clause not terminated, literal out of range).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use japrove_logic::parse_dimacs;
+/// let text = "c example\np cnf 2 2\n1 -2 0\n2 0\n";
+/// let cnf = parse_dimacs(text.as_bytes())?;
+/// assert_eq!(cnf.num_vars(), 2);
+/// assert_eq!(cnf.num_clauses(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_dimacs<R: BufRead>(reader: R) -> Result<Cnf, ParseDimacsError> {
+    let mut cnf = Cnf::new();
+    let mut current: Vec<Lit> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if line.starts_with('p') {
+            let mut parts = line.split_whitespace();
+            let _p = parts.next();
+            let kind = parts.next().unwrap_or("");
+            if kind != "cnf" {
+                return Err(ParseDimacsError::Syntax {
+                    line: lineno + 1,
+                    message: format!("expected 'p cnf' header, found 'p {kind}'"),
+                });
+            }
+            if let Some(vars) = parts.next() {
+                let vars: u32 = vars.parse().map_err(|_| ParseDimacsError::Syntax {
+                    line: lineno + 1,
+                    message: format!("invalid variable count '{vars}'"),
+                })?;
+                cnf.ensure_vars(vars);
+            }
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let value: i64 = tok.parse().map_err(|_| ParseDimacsError::Syntax {
+                line: lineno + 1,
+                message: format!("invalid literal '{tok}'"),
+            })?;
+            if value == 0 {
+                cnf.add_clause(Clause::from_lits(current.drain(..)));
+            } else {
+                let var_index = value.unsigned_abs() - 1;
+                if var_index > Var::MAX_INDEX as u64 {
+                    return Err(ParseDimacsError::Syntax {
+                        line: lineno + 1,
+                        message: format!("literal '{tok}' out of range"),
+                    });
+                }
+                current.push(Var::new(var_index as u32).lit(value < 0));
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(ParseDimacsError::Syntax {
+            line: 0,
+            message: "last clause not terminated by 0".to_string(),
+        });
+    }
+    Ok(cnf)
+}
+
+/// Writes a formula in DIMACS CNF format.
+///
+/// A mut reference can be passed as the writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use japrove_logic::{write_dimacs, Cnf, Clause, Var};
+/// let mut cnf = Cnf::new();
+/// cnf.add_clause(Clause::from_lits([Var::new(0).pos(), Var::new(1).neg()]));
+/// let mut out = Vec::new();
+/// write_dimacs(&mut out, &cnf)?;
+/// assert_eq!(String::from_utf8(out)?, "p cnf 2 1\n1 -2 0\n");
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_dimacs<W: Write>(mut writer: W, cnf: &Cnf) -> io::Result<()> {
+    writeln!(writer, "p cnf {} {}", cnf.num_vars(), cnf.num_clauses())?;
+    for clause in cnf.clauses() {
+        for &l in clause.lits() {
+            let v = l.var().index() as i64 + 1;
+            if l.is_negated() {
+                write!(writer, "-{v} ")?;
+            } else {
+                write!(writer, "{v} ")?;
+            }
+        }
+        writeln!(writer, "0")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let text = "p cnf 3 3\n1 -2 0\n2 3 0\n-1 0\n";
+        let cnf = parse_dimacs(text.as_bytes()).expect("parse");
+        let mut out = Vec::new();
+        write_dimacs(&mut out, &cnf).expect("write");
+        assert_eq!(String::from_utf8(out).expect("utf8"), text);
+    }
+
+    #[test]
+    fn multiline_clause_and_comments() {
+        let text = "c hello\nc world\np cnf 2 1\n1\n-2\n0\n";
+        let cnf = parse_dimacs(text.as_bytes()).expect("parse");
+        assert_eq!(cnf.num_clauses(), 1);
+        assert_eq!(cnf.clauses()[0].len(), 2);
+    }
+
+    #[test]
+    fn missing_terminator_is_error() {
+        let text = "p cnf 1 1\n1\n";
+        assert!(parse_dimacs(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn garbage_token_is_error() {
+        let text = "p cnf 1 1\n1 foo 0\n";
+        let err = parse_dimacs(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, ParseDimacsError::Syntax { line: 2, .. }));
+    }
+
+    #[test]
+    fn header_grows_vars_even_without_clauses() {
+        let cnf = parse_dimacs("p cnf 10 0\n".as_bytes()).expect("parse");
+        assert_eq!(cnf.num_vars(), 10);
+        assert_eq!(cnf.num_clauses(), 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Boolean foundations shared by every japrove engine.
+//!
+//! This crate defines the vocabulary used by the SAT solver
+//! (`japrove-sat`), the AIG package (`japrove-aig`) and the model
+//! checkers: [`Var`], [`Lit`], [`Clause`], [`Cube`], [`Cnf`],
+//! ternary-valued [`Assignment`]s and DIMACS I/O.
+//!
+//! The literal encoding follows the MiniSat convention: variable `v`
+//! yields literals `2*v` (positive) and `2*v + 1` (negative), so a
+//! literal fits in a `u32` and array indexing by literal is free.
+//!
+//! # Examples
+//!
+//! ```
+//! use japrove_logic::{Lit, Var, Clause, Cnf};
+//!
+//! let x = Var::new(0);
+//! let y = Var::new(1);
+//! let mut cnf = Cnf::new();
+//! cnf.add_clause(Clause::from_lits([x.pos(), y.neg()]));
+//! assert_eq!(cnf.num_clauses(), 1);
+//! assert!(cnf.num_vars() >= 2);
+//! ```
+
+mod assignment;
+mod clause;
+mod cnf;
+mod cube;
+mod dimacs;
+mod var;
+
+pub use assignment::{Assignment, LBool};
+pub use clause::Clause;
+pub use cnf::Cnf;
+pub use cube::Cube;
+pub use dimacs::{parse_dimacs, write_dimacs, ParseDimacsError};
+pub use var::{Lit, Var};

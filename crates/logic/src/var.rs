@@ -1,0 +1,217 @@
+//! Boolean variables and literals.
+
+use std::fmt;
+
+/// A Boolean variable, identified by a dense non-negative index.
+///
+/// Variables are cheap `u32` newtypes; engines allocate them densely so
+/// that variable-indexed arrays stay compact.
+///
+/// # Examples
+///
+/// ```
+/// use japrove_logic::Var;
+/// let v = Var::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(v.pos().var(), v);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(u32);
+
+impl Var {
+    /// Maximum representable variable index.
+    pub const MAX_INDEX: u32 = (u32::MAX >> 1) - 1;
+
+    /// Creates the variable with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds [`Var::MAX_INDEX`].
+    #[inline]
+    pub fn new(index: u32) -> Self {
+        assert!(index <= Self::MAX_INDEX, "variable index overflow");
+        Var(index)
+    }
+
+    /// Returns the dense index of this variable.
+    #[inline]
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the positive literal of this variable.
+    #[inline]
+    pub fn pos(self) -> Lit {
+        Lit::new(self, false)
+    }
+
+    /// Returns the negative literal of this variable.
+    #[inline]
+    pub fn neg(self) -> Lit {
+        Lit::new(self, true)
+    }
+
+    /// Returns the literal of this variable with the given sign
+    /// (`negated == true` yields the negative literal).
+    #[inline]
+    pub fn lit(self, negated: bool) -> Lit {
+        Lit::new(self, negated)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation.
+///
+/// Encoded MiniSat-style as `2 * var + sign`, so literals can directly
+/// index watch lists and assignment arrays.
+///
+/// # Examples
+///
+/// ```
+/// use japrove_logic::{Lit, Var};
+/// let v = Var::new(7);
+/// let l = v.neg();
+/// assert!(l.is_negated());
+/// assert_eq!(!l, v.pos());
+/// assert_eq!(l.var(), v);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal from a variable and a sign.
+    #[inline]
+    pub fn new(var: Var, negated: bool) -> Self {
+        Lit((var.0 << 1) | negated as u32)
+    }
+
+    /// Reconstructs a literal from its dense code (see [`Lit::code`]).
+    #[inline]
+    pub fn from_code(code: u32) -> Self {
+        Lit(code)
+    }
+
+    /// Returns the dense code `2 * var + sign` of this literal.
+    #[inline]
+    pub fn code(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the underlying variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Returns `true` if this is a negated literal.
+    #[inline]
+    pub fn is_negated(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Returns `true` if this is a positive literal.
+    #[inline]
+    pub fn is_positive(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// Returns this literal with the requested sign applied on top of
+    /// its current sign (`xor`).
+    #[inline]
+    pub fn apply_sign(self, negate: bool) -> Self {
+        Lit(self.0 ^ negate as u32)
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_negated() {
+            write!(f, "!v{}", self.var().index())
+        } else {
+            write!(f, "v{}", self.var().index())
+        }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<Var> for Lit {
+    #[inline]
+    fn from(v: Var) -> Lit {
+        v.pos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_codes_round_trip() {
+        for idx in [0u32, 1, 2, 17, 1 << 20] {
+            let v = Var::new(idx);
+            assert_eq!(v.pos().code(), idx * 2);
+            assert_eq!(v.neg().code(), idx * 2 + 1);
+            assert_eq!(Lit::from_code(v.pos().code()), v.pos());
+            assert_eq!(Lit::from_code(v.neg().code()), v.neg());
+        }
+    }
+
+    #[test]
+    fn negation_is_involution() {
+        let l = Var::new(5).neg();
+        assert_eq!(!!l, l);
+        assert_ne!(!l, l);
+        assert_eq!((!l).var(), l.var());
+    }
+
+    #[test]
+    fn sign_accessors_agree() {
+        let v = Var::new(9);
+        assert!(v.pos().is_positive());
+        assert!(!v.pos().is_negated());
+        assert!(v.neg().is_negated());
+        assert_eq!(v.lit(true), v.neg());
+        assert_eq!(v.lit(false), v.pos());
+        assert_eq!(v.pos().apply_sign(true), v.neg());
+        assert_eq!(v.pos().apply_sign(false), v.pos());
+    }
+
+    #[test]
+    #[should_panic(expected = "variable index overflow")]
+    fn variable_overflow_panics() {
+        let _ = Var::new(u32::MAX);
+    }
+
+    #[test]
+    fn ordering_follows_codes() {
+        let a = Var::new(1).pos();
+        let b = Var::new(1).neg();
+        let c = Var::new(2).pos();
+        assert!(a < b && b < c);
+    }
+}

@@ -1,0 +1,118 @@
+//! Search budgets: conflict counts and wall-clock deadlines.
+
+use std::time::{Duration, Instant};
+
+/// Limits applied to a single [`crate::Solver::solve`] call.
+///
+/// A budget combines an optional conflict allowance with an optional
+/// wall-clock deadline; whichever is hit first aborts the search with
+/// [`crate::SolveResult::Unknown`].
+///
+/// # Examples
+///
+/// ```
+/// use japrove_sat::Budget;
+/// use std::time::Duration;
+///
+/// let b = Budget::conflicts(10_000).with_timeout(Duration::from_millis(50));
+/// assert!(!b.is_unlimited());
+/// assert!(Budget::unlimited().is_unlimited());
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Budget {
+    conflict_limit: Option<u64>,
+    deadline: Option<Instant>,
+    /// Conflict counter value when the budget was armed.
+    base_conflicts: u64,
+}
+
+impl Budget {
+    /// No limits.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// Limits the number of conflicts for the next call.
+    pub fn conflicts(limit: u64) -> Self {
+        Budget {
+            conflict_limit: Some(limit),
+            ..Budget::default()
+        }
+    }
+
+    /// Adds a wall-clock timeout measured from now.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Adds an absolute deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Creates a budget with only a wall-clock timeout.
+    pub fn timeout(timeout: Duration) -> Self {
+        Budget::unlimited().with_timeout(timeout)
+    }
+
+    /// Returns `true` if no limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.conflict_limit.is_none() && self.deadline.is_none()
+    }
+
+    /// Returns `true` once the wall-clock deadline (if any) has passed.
+    ///
+    /// Engines embedding the solver use this for their own outer loops;
+    /// the conflict allowance is tracked inside the solver.
+    pub fn deadline_passed(&self) -> bool {
+        self.deadline.map_or(false, |d| Instant::now() >= d)
+    }
+
+    /// Re-arms the conflict limit relative to the current counter.
+    pub(crate) fn rebase(&mut self, current_conflicts: u64) {
+        self.base_conflicts = current_conflicts;
+    }
+
+    /// Returns `true` once the budget is spent given the solver's
+    /// cumulative conflict counter.
+    pub(crate) fn exhausted(&self, total_conflicts: u64) -> bool {
+        if let Some(limit) = self.conflict_limit {
+            if total_conflicts.saturating_sub(self.base_conflicts) >= limit {
+                return true;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let b = Budget::unlimited();
+        assert!(!b.exhausted(u64::MAX));
+    }
+
+    #[test]
+    fn conflict_budget_counts_relative_to_base() {
+        let mut b = Budget::conflicts(10);
+        b.rebase(100);
+        assert!(!b.exhausted(105));
+        assert!(b.exhausted(110));
+    }
+
+    #[test]
+    fn elapsed_deadline_exhausts() {
+        let b = Budget::unlimited().with_deadline(Instant::now() - Duration::from_secs(1));
+        assert!(b.exhausted(0));
+    }
+}

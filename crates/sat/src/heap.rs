@@ -1,0 +1,165 @@
+//! Indexed max-heap ordering variables by VSIDS activity.
+
+use japrove_logic::Var;
+
+/// A binary max-heap over variables keyed by an external activity
+/// array, supporting `decrease`/`increase` notifications in `O(log n)`.
+///
+/// Used as the VSIDS decision order of the solver: the most active
+/// unassigned variable is popped first.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct VarOrder {
+    /// Heap of variable indices.
+    heap: Vec<u32>,
+    /// Position of each variable in `heap`, or `NONE`.
+    position: Vec<u32>,
+}
+
+const NONE: u32 = u32::MAX;
+
+impl VarOrder {
+    /// Registers a new variable (initially outside the heap).
+    pub fn grow_to(&mut self, num_vars: usize) {
+        if self.position.len() < num_vars {
+            self.position.resize(num_vars, NONE);
+        }
+    }
+
+    pub fn contains(&self, var: Var) -> bool {
+        self.position
+            .get(var.index() as usize)
+            .map_or(false, |&p| p != NONE)
+    }
+
+    /// Inserts `var`; no-op if already present.
+    pub fn insert(&mut self, var: Var, activity: &[f64]) {
+        self.grow_to(var.index() as usize + 1);
+        if self.contains(var) {
+            return;
+        }
+        let i = self.heap.len();
+        self.heap.push(var.index());
+        self.position[var.index() as usize] = i as u32;
+        self.sift_up(i, activity);
+    }
+
+    /// Pops the most active variable.
+    pub fn pop(&mut self, activity: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().expect("non-empty");
+        self.position[top as usize] = NONE;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.position[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(Var::new(top))
+    }
+
+    /// Restores heap order after `var`'s activity increased.
+    pub fn bumped(&mut self, var: Var, activity: &[f64]) {
+        if let Some(&p) = self.position.get(var.index() as usize) {
+            if p != NONE {
+                self.sift_up(p as usize, activity);
+            }
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        let v = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) >> 1;
+            let pv = self.heap[parent];
+            if act[v as usize] <= act[pv as usize] {
+                break;
+            }
+            self.heap[i] = pv;
+            self.position[pv as usize] = i as u32;
+            i = parent;
+        }
+        self.heap[i] = v;
+        self.position[v as usize] = i as u32;
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        let v = self.heap[i];
+        let len = self.heap.len();
+        loop {
+            let left = 2 * i + 1;
+            if left >= len {
+                break;
+            }
+            let right = left + 1;
+            let child = if right < len
+                && act[self.heap[right] as usize] > act[self.heap[left] as usize]
+            {
+                right
+            } else {
+                left
+            };
+            let cv = self.heap[child];
+            if act[cv as usize] <= act[v as usize] {
+                break;
+            }
+            self.heap[i] = cv;
+            self.position[cv as usize] = i as u32;
+            i = child;
+        }
+        self.heap[i] = v;
+        self.position[v as usize] = i as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_activity_order() {
+        let act = vec![0.5, 3.0, 1.0, 2.0];
+        let mut h = VarOrder::default();
+        for i in 0..4 {
+            h.insert(Var::new(i), &act);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| h.pop(&act).map(Var::index)).collect();
+        assert_eq!(order, vec![1, 3, 2, 0]);
+    }
+
+    #[test]
+    fn reinsert_after_pop() {
+        let act = vec![1.0, 2.0];
+        let mut h = VarOrder::default();
+        h.insert(Var::new(0), &act);
+        h.insert(Var::new(1), &act);
+        let first = h.pop(&act).expect("non-empty");
+        assert_eq!(first.index(), 1);
+        h.insert(first, &act);
+        assert!(h.contains(first));
+        assert_eq!(h.pop(&act).expect("non-empty").index(), 1);
+    }
+
+    #[test]
+    fn bump_reorders() {
+        let mut act = vec![1.0, 2.0, 3.0];
+        let mut h = VarOrder::default();
+        for i in 0..3 {
+            h.insert(Var::new(i), &act);
+        }
+        act[0] = 10.0;
+        h.bumped(Var::new(0), &act);
+        assert_eq!(h.pop(&act).expect("non-empty").index(), 0);
+    }
+
+    #[test]
+    fn duplicate_insert_ignored() {
+        let act = vec![1.0];
+        let mut h = VarOrder::default();
+        h.insert(Var::new(0), &act);
+        h.insert(Var::new(0), &act);
+        assert_eq!(h.pop(&act).expect("first").index(), 0);
+        assert!(h.pop(&act).is_none());
+    }
+}

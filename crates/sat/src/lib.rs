@@ -1,0 +1,154 @@
+//! An incremental CDCL SAT solver built for the japrove model checkers.
+//!
+//! The solver implements the classic MiniSat architecture with the
+//! refinements modern IC3 implementations rely on:
+//!
+//! * two-watched-literal unit propagation with blocker literals,
+//! * first-UIP clause learning with local minimization,
+//! * VSIDS decision heuristics with phase saving,
+//! * Luby restarts and LBD/activity-guided learnt-clause reduction,
+//! * an *assumption* interface with final-conflict analysis, yielding
+//!   unsatisfiable cores over the assumption set — the primitive that
+//!   powers IC3 generalization and state lifting,
+//! * per-call [`Budget`]s (conflicts and/or wall clock), used by the
+//!   multi-property engines to implement per-property time limits.
+//!
+//! # Examples
+//!
+//! ```
+//! use japrove_sat::{Solver, SolveResult};
+//!
+//! let mut solver = Solver::new();
+//! let x = solver.new_var();
+//! let y = solver.new_var();
+//! solver.add_clause([x.pos(), y.pos()]);
+//! solver.add_clause([x.neg(), y.pos()]);
+//! assert_eq!(solver.solve(&[]), SolveResult::Sat);
+//! assert!(solver.model_value(y.pos()).is_true());
+//! // Under the assumption !y the formula is unsatisfiable:
+//! assert_eq!(solver.solve(&[y.neg()]), SolveResult::Unsat);
+//! assert_eq!(solver.unsat_core(), &[y.neg()]);
+//! ```
+
+mod budget;
+mod heap;
+mod solver;
+mod stats;
+mod store;
+
+pub use budget::Budget;
+pub use solver::{SolveResult, Solver};
+pub use stats::SolverStats;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use japrove_logic::{Clause, Cnf, Lit, Var};
+    use proptest::prelude::*;
+
+    /// Brute-force satisfiability over up to 2^n assignments.
+    fn brute_force_sat(cnf: &Cnf) -> bool {
+        let n = cnf.num_vars();
+        assert!(n <= 16, "brute force limited to 16 vars");
+        'outer: for bits in 0u32..(1 << n) {
+            for clause in cnf.clauses() {
+                let sat = clause.lits().iter().any(|l| {
+                    let val = (bits >> l.var().index()) & 1 == 1;
+                    val != l.is_negated()
+                });
+                if !sat {
+                    continue 'outer;
+                }
+            }
+            return true;
+        }
+        false
+    }
+
+    fn arb_cnf(max_vars: u32, max_clauses: usize) -> impl Strategy<Value = Cnf> {
+        let lit = (0..max_vars, any::<bool>()).prop_map(|(v, neg)| Var::new(v).lit(neg));
+        let clause = proptest::collection::vec(lit, 1..=4).prop_map(Clause::from_lits);
+        proptest::collection::vec(clause, 1..=max_clauses).prop_map(move |cs| {
+            let mut cnf = Cnf::with_vars(max_vars);
+            cnf.extend(cs);
+            cnf
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn solver_agrees_with_brute_force(cnf in arb_cnf(8, 24)) {
+            let mut s = Solver::new();
+            s.ensure_vars(cnf.num_vars());
+            for c in cnf.clauses() {
+                s.add_clause(c.lits().iter().copied());
+            }
+            let result = s.solve(&[]);
+            let expected = brute_force_sat(&cnf);
+            prop_assert_eq!(result == SolveResult::Sat, expected);
+            if !expected {
+                prop_assert_eq!(result, SolveResult::Unsat);
+            }
+            if result == SolveResult::Sat {
+                // Model must actually satisfy the formula.
+                for c in cnf.clauses() {
+                    let ok = c.lits().iter().any(|&l| !s.model_value(l).is_false());
+                    prop_assert!(ok, "model falsifies clause {:?}", c);
+                }
+            }
+        }
+
+        #[test]
+        fn unsat_core_is_sound(cnf in arb_cnf(8, 16),
+                               assumed in proptest::collection::vec((0u32..8, any::<bool>()), 1..6)) {
+            let mut s = Solver::new();
+            s.ensure_vars(cnf.num_vars().max(8));
+            for c in cnf.clauses() {
+                s.add_clause(c.lits().iter().copied());
+            }
+            let mut assumptions: Vec<Lit> = assumed
+                .into_iter()
+                .map(|(v, neg)| Var::new(v).lit(neg))
+                .collect();
+            assumptions.sort_unstable();
+            assumptions.dedup();
+            // Drop contradictory assumption pairs to keep the query meaningful.
+            let mut clean: Vec<Lit> = Vec::new();
+            for l in assumptions {
+                if !clean.iter().any(|&c| c.var() == l.var()) {
+                    clean.push(l);
+                }
+            }
+            if s.solve(&clean) == SolveResult::Unsat {
+                let core = s.unsat_core().to_vec();
+                for l in &core {
+                    prop_assert!(clean.contains(l));
+                }
+                // Solving just the core must still be unsat.
+                prop_assert_eq!(s.solve(&core), SolveResult::Unsat);
+            }
+        }
+
+        #[test]
+        fn incremental_equals_from_scratch(cnf in arb_cnf(8, 20)) {
+            // Add clauses one at a time with a solve call in between;
+            // the final verdict must match a fresh solver.
+            let mut inc = Solver::new();
+            inc.ensure_vars(cnf.num_vars());
+            for c in cnf.clauses() {
+                inc.add_clause(c.lits().iter().copied());
+                let _ = inc.solve(&[]);
+            }
+            let final_inc = inc.solve(&[]);
+
+            let mut fresh = Solver::new();
+            fresh.ensure_vars(cnf.num_vars());
+            for c in cnf.clauses() {
+                fresh.add_clause(c.lits().iter().copied());
+            }
+            prop_assert_eq!(final_inc, fresh.solve(&[]));
+        }
+    }
+}

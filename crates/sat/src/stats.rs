@@ -1,0 +1,60 @@
+//! Cumulative solver statistics.
+
+use std::fmt;
+
+/// Counters accumulated over the lifetime of a [`crate::Solver`].
+///
+/// # Examples
+///
+/// ```
+/// use japrove_sat::Solver;
+/// let mut s = Solver::new();
+/// let v = s.new_var();
+/// s.add_clause([v.pos()]);
+/// s.solve(&[]);
+/// assert_eq!(s.stats().solves, 1);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of `solve` calls.
+    pub solves: u64,
+    /// Total decisions taken.
+    pub decisions: u64,
+    /// Total unit propagations performed.
+    pub propagations: u64,
+    /// Total conflicts encountered.
+    pub conflicts: u64,
+    /// Learnt clauses added.
+    pub learnt_clauses: u64,
+    /// Learnt clauses deleted by database reduction.
+    pub deleted_clauses: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+}
+
+impl fmt::Display for SolverStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "solves={} decisions={} propagations={} conflicts={} learnt={} deleted={} restarts={}",
+            self.solves,
+            self.decisions,
+            self.propagations,
+            self.conflicts,
+            self.learnt_clauses,
+            self.deleted_clauses,
+            self.restarts
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = SolverStats::default();
+        assert!(s.to_string().contains("conflicts=0"));
+    }
+}

@@ -1,0 +1,305 @@
+//! Word-level circuit construction helpers.
+//!
+//! The benchmark generators build counters, comparators and FSMs; this
+//! module provides the word-level vocabulary on top of [`Aig`] bit
+//! operations. Words are little-endian vectors of edges.
+
+use japrove_aig::{Aig, AigLit};
+
+/// A little-endian word of AIG edges (bit 0 first).
+///
+/// # Examples
+///
+/// ```
+/// use japrove_aig::Aig;
+/// use japrove_tsys::Word;
+///
+/// let mut aig = Aig::new();
+/// let w = Word::constant(&mut aig, 5, 4);
+/// assert_eq!(w.width(), 4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Word {
+    bits: Vec<AigLit>,
+}
+
+impl Word {
+    /// Creates a word from explicit bits (little-endian).
+    pub fn from_bits(bits: Vec<AigLit>) -> Self {
+        Word { bits }
+    }
+
+    /// A constant word of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` does not fit into `width` bits.
+    pub fn constant(_aig: &mut Aig, value: u64, width: usize) -> Self {
+        assert!(width >= 64 || value < (1u64 << width), "constant overflow");
+        Word {
+            bits: (0..width)
+                .map(|i| {
+                    if (value >> i) & 1 == 1 {
+                        AigLit::TRUE
+                    } else {
+                        AigLit::FALSE
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// A word of fresh primary inputs.
+    pub fn inputs(aig: &mut Aig, width: usize) -> Self {
+        Word {
+            bits: (0..width).map(|_| aig.add_input()).collect(),
+        }
+    }
+
+    /// A word of fresh latches, all resetting to the bits of `reset`.
+    pub fn latches(aig: &mut Aig, width: usize, reset: u64) -> Self {
+        Word {
+            bits: (0..width)
+                .map(|i| aig.add_latch((reset >> i) & 1 == 1))
+                .collect(),
+        }
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// The bit edges (little-endian).
+    pub fn bits(&self) -> &[AigLit] {
+        &self.bits
+    }
+
+    /// The `i`-th bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bit(&self, i: usize) -> AigLit {
+        self.bits[i]
+    }
+
+    /// Connects the next-state functions of a latch word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ or `self` is not made of latches.
+    pub fn set_next(&self, aig: &mut Aig, next: &Word) {
+        assert_eq!(self.width(), next.width(), "width mismatch");
+        for (l, n) in self.bits.iter().zip(&next.bits) {
+            aig.set_next(*l, *n);
+        }
+    }
+
+    /// `self + 1` with wraparound.
+    pub fn increment(&self, aig: &mut Aig) -> Word {
+        let mut carry = AigLit::TRUE;
+        let mut bits = Vec::with_capacity(self.width());
+        for &b in &self.bits {
+            bits.push(aig.xor(b, carry));
+            carry = aig.and(b, carry);
+        }
+        Word { bits }
+    }
+
+    /// `self + other` with wraparound (widths must match).
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn add(&self, aig: &mut Aig, other: &Word) -> Word {
+        assert_eq!(self.width(), other.width(), "width mismatch");
+        let mut carry = AigLit::FALSE;
+        let mut bits = Vec::with_capacity(self.width());
+        for (&a, &b) in self.bits.iter().zip(&other.bits) {
+            let axb = aig.xor(a, b);
+            bits.push(aig.xor(axb, carry));
+            let ab = aig.and(a, b);
+            let ac = aig.and(axb, carry);
+            carry = aig.or(ab, ac);
+        }
+        Word { bits }
+    }
+
+    /// Equality with a constant.
+    pub fn eq_const(&self, aig: &mut Aig, value: u64) -> AigLit {
+        let lits: Vec<AigLit> = self
+            .bits
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| if (value >> i) & 1 == 1 { b } else { !b })
+            .collect();
+        aig.and_many(lits)
+    }
+
+    /// Unsigned comparison `self <= value`.
+    pub fn le_const(&self, aig: &mut Aig, value: u64) -> AigLit {
+        // le = !(self > value); build greater-than MSB-down.
+        let mut gt = AigLit::FALSE;
+        let mut eq = AigLit::TRUE;
+        for i in (0..self.width()).rev() {
+            let vb = (value >> i) & 1 == 1;
+            let b = self.bits[i];
+            if !vb {
+                // bit set where constant has 0 -> greater, if prefix equal
+                let g = aig.and(eq, b);
+                gt = aig.or(gt, g);
+                eq = aig.and(eq, !b);
+            } else {
+                eq = aig.and(eq, b);
+            }
+        }
+        !gt
+    }
+
+    /// Unsigned comparison `self < value`.
+    pub fn lt_const(&self, aig: &mut Aig, value: u64) -> AigLit {
+        if value == 0 {
+            AigLit::FALSE
+        } else {
+            self.le_const(aig, value - 1)
+        }
+    }
+
+    /// Unsigned comparison `self >= value`.
+    pub fn ge_const(&self, aig: &mut Aig, value: u64) -> AigLit {
+        let lt = self.lt_const(aig, value);
+        !lt
+    }
+
+    /// Bitwise multiplexer: `if sel then t else e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn mux(aig: &mut Aig, sel: AigLit, t: &Word, e: &Word) -> Word {
+        assert_eq!(t.width(), e.width(), "width mismatch");
+        Word {
+            bits: t
+                .bits
+                .iter()
+                .zip(&e.bits)
+                .map(|(&a, &b)| aig.mux(sel, a, b))
+                .collect(),
+        }
+    }
+
+    /// OR-reduction of all bits.
+    pub fn any(&self, aig: &mut Aig) -> AigLit {
+        aig.or_many(self.bits.iter().copied())
+    }
+
+    /// AND-reduction of all bits.
+    pub fn all(&self, aig: &mut Aig) -> AigLit {
+        aig.and_many(self.bits.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use japrove_aig::Simulator;
+
+    /// Evaluates a word in instance 0 of a simulator.
+    fn word_value(sim: &Simulator, w: &Word) -> u64 {
+        w.bits()
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| ((sim.value(b) & 1) as u64) << i)
+            .sum()
+    }
+
+    #[test]
+    fn counter_counts() {
+        let mut aig = Aig::new();
+        let c = Word::latches(&mut aig, 4, 0);
+        let n = c.increment(&mut aig);
+        c.set_next(&mut aig, &n);
+        let mut sim = Simulator::new(&aig);
+        for expect in 0..20u64 {
+            assert_eq!(word_value(&sim, &c), expect % 16);
+            sim.step(&aig, &[]);
+        }
+    }
+
+    #[test]
+    fn addition_matches_arithmetic() {
+        let mut aig = Aig::new();
+        let a = Word::inputs(&mut aig, 4);
+        let b = Word::inputs(&mut aig, 4);
+        let s = a.add(&mut aig, &b);
+        let mut sim = Simulator::new(&aig);
+        for x in 0..16u64 {
+            for y in 0..16u64 {
+                let inputs: Vec<u64> = (0..4)
+                    .map(|i| (x >> i) & 1)
+                    .chain((0..4).map(|i| (y >> i) & 1))
+                    .collect();
+                sim.eval(&aig, &inputs);
+                assert_eq!(word_value(&sim, &s), (x + y) % 16, "{x}+{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparisons_match_arithmetic() {
+        let mut aig = Aig::new();
+        let w = Word::inputs(&mut aig, 4);
+        let consts = [0u64, 1, 7, 8, 15];
+        let eqs: Vec<AigLit> = consts.iter().map(|&k| w.eq_const(&mut aig, k)).collect();
+        let les: Vec<AigLit> = consts.iter().map(|&k| w.le_const(&mut aig, k)).collect();
+        let lts: Vec<AigLit> = consts.iter().map(|&k| w.lt_const(&mut aig, k)).collect();
+        let ges: Vec<AigLit> = consts.iter().map(|&k| w.ge_const(&mut aig, k)).collect();
+        let mut sim = Simulator::new(&aig);
+        for x in 0..16u64 {
+            let inputs: Vec<u64> = (0..4).map(|i| (x >> i) & 1).collect();
+            sim.eval(&aig, &inputs);
+            for (j, &k) in consts.iter().enumerate() {
+                assert_eq!(sim.value_bit(eqs[j]), x == k, "eq {x} {k}");
+                assert_eq!(sim.value_bit(les[j]), x <= k, "le {x} {k}");
+                assert_eq!(sim.value_bit(lts[j]), x < k, "lt {x} {k}");
+                assert_eq!(sim.value_bit(ges[j]), x >= k, "ge {x} {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn mux_and_reductions() {
+        let mut aig = Aig::new();
+        let sel = aig.add_input();
+        let a = Word::constant(&mut aig, 0b1010, 4);
+        let b = Word::constant(&mut aig, 0b0101, 4);
+        let m = Word::mux(&mut aig, sel, &a, &b);
+        let any = m.any(&mut aig);
+        let all = m.all(&mut aig);
+        let mut sim = Simulator::new(&aig);
+        sim.eval(&aig, &[1]);
+        assert_eq!(word_value(&sim, &m), 0b1010);
+        assert!(sim.value_bit(any));
+        assert!(!sim.value_bit(all));
+        sim.eval(&aig, &[0]);
+        assert_eq!(word_value(&sim, &m), 0b0101);
+    }
+
+    #[test]
+    fn latch_reset_values() {
+        let mut aig = Aig::new();
+        let w = Word::latches(&mut aig, 4, 0b1001);
+        for (i, &b) in w.bits().iter().enumerate() {
+            let info = aig.latch_info(b);
+            assert_eq!(info.reset, (0b1001 >> i) & 1 == 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "constant overflow")]
+    fn oversized_constant_panics() {
+        let mut aig = Aig::new();
+        let _ = Word::constant(&mut aig, 16, 4);
+    }
+}

@@ -1,0 +1,334 @@
+//! Trace replay: validating counterexamples against the design.
+//!
+//! Every counterexample produced by the engines is replayed on the
+//! concrete netlist with the bit-parallel simulator; the replay also
+//! records *which* properties fail at *which* steps — the data needed
+//! to check the debugging-set guarantees of Propositions 2–6.
+
+use crate::{PropertyId, Trace, TransitionSystem};
+use japrove_aig::Simulator;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by [`replay`] when a trace is malformed for the
+/// system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// A state vector has the wrong number of latches.
+    StateWidth {
+        /// Step with the offending state.
+        step: usize,
+    },
+    /// An input vector has the wrong number of inputs.
+    InputWidth {
+        /// Step with the offending inputs.
+        step: usize,
+    },
+    /// The initial state is not an initial state of the system.
+    NotInitial,
+    /// A transition `states[k] -> states[k+1]` is not allowed by the
+    /// transition relation under `inputs[k]`.
+    BadTransition {
+        /// Index of the offending transition.
+        step: usize,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::StateWidth { step } => write!(f, "state {step} has wrong width"),
+            ReplayError::InputWidth { step } => write!(f, "inputs {step} have wrong width"),
+            ReplayError::NotInitial => write!(f, "trace does not start in an initial state"),
+            ReplayError::BadTransition { step } => {
+                write!(f, "transition {step} violates the transition relation")
+            }
+        }
+    }
+}
+
+impl Error for ReplayError {}
+
+/// Result of replaying a trace: per-step property valuations.
+#[derive(Clone, Debug)]
+pub struct Replay {
+    /// `violations[k]` lists the properties whose good-literal is
+    /// false in state `k` (under the step-`k` inputs).
+    violations: Vec<Vec<PropertyId>>,
+    /// Steps at which a design-level invariant constraint is violated.
+    constraint_violations: Vec<usize>,
+}
+
+impl Replay {
+    /// Properties violated at step `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn violated_at(&self, k: usize) -> &[PropertyId] {
+        &self.violations[k]
+    }
+
+    /// The first step at which `prop` is violated, if any.
+    pub fn first_violation(&self, prop: PropertyId) -> Option<usize> {
+        self.violations.iter().position(|v| v.contains(&prop))
+    }
+
+    /// The first step at which *any* property is violated, with the
+    /// violated properties.
+    pub fn first_any_violation(&self) -> Option<(usize, &[PropertyId])> {
+        self.violations
+            .iter()
+            .position(|v| !v.is_empty())
+            .map(|k| (k, self.violations[k].as_slice()))
+    }
+
+    /// `true` if `prop` is violated in the final state.
+    pub fn violates_finally(&self, prop: PropertyId) -> bool {
+        self.violations
+            .last()
+            .map_or(false, |v| v.contains(&prop))
+    }
+
+    /// `true` if some property *other than* `prop` is violated strictly
+    /// before the final state (used to detect spurious local
+    /// counterexamples, §7-A).
+    pub fn violates_before_final(&self, prop: PropertyId) -> bool {
+        self.violations[..self.violations.len() - 1]
+            .iter()
+            .any(|v| v.iter().any(|&p| p != prop))
+    }
+
+    /// Steps violating design-level invariant constraints.
+    pub fn constraint_violations(&self) -> &[usize] {
+        &self.constraint_violations
+    }
+
+    /// Number of replayed states.
+    pub fn num_states(&self) -> usize {
+        self.violations.len()
+    }
+}
+
+/// Replays `trace` on `sys`, validating widths, the initial state and
+/// every transition, and recording property/constraint valuations.
+///
+/// # Errors
+///
+/// Returns a [`ReplayError`] if the trace is structurally invalid for
+/// the system (wrong widths, not initialized, or containing a
+/// transition the netlist cannot take).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use japrove_aig::Aig;
+/// use japrove_tsys::{replay, Trace, TransitionSystem};
+///
+/// let mut aig = Aig::new();
+/// let bit = aig.add_latch(false);
+/// aig.set_next(bit, !bit);
+/// let mut sys = TransitionSystem::new("toggle", aig);
+/// let p = sys.add_property("stay_low", !bit);
+///
+/// let trace = Trace::new(vec![vec![false], vec![true]], vec![vec![], vec![]]);
+/// let replay = replay(&sys, &trace)?;
+/// assert!(replay.violates_finally(p));
+/// assert_eq!(replay.first_violation(p), Some(1));
+/// # Ok(())
+/// # }
+/// ```
+pub fn replay(sys: &TransitionSystem, trace: &Trace) -> Result<Replay, ReplayError> {
+    let aig = sys.aig();
+    let num_latches = aig.num_latches();
+    let num_inputs = aig.num_inputs();
+    for (k, s) in trace.states().iter().enumerate() {
+        if s.len() != num_latches {
+            return Err(ReplayError::StateWidth { step: k });
+        }
+    }
+    for (k, i) in trace.inputs().iter().enumerate() {
+        if i.len() != num_inputs {
+            return Err(ReplayError::InputWidth { step: k });
+        }
+    }
+    // Initial-state check: every latch at its reset value.
+    for (latch, &bit) in aig.latches().iter().zip(trace.state(0)) {
+        if latch.reset != bit {
+            return Err(ReplayError::NotInitial);
+        }
+    }
+
+    let to_words = |bits: &[bool]| -> Vec<u64> {
+        bits.iter().map(|&b| if b { u64::MAX } else { 0 }).collect()
+    };
+
+    let mut violations = Vec::with_capacity(trace.num_states());
+    let mut constraint_violations = Vec::new();
+    for k in 0..trace.num_states() {
+        let mut sim = Simulator::with_state(aig, to_words(trace.state(k)));
+        let inputs = to_words(trace.input(k));
+        sim.eval(aig, &inputs);
+        let violated: Vec<PropertyId> = sys
+            .property_ids()
+            .filter(|&p| !sim.value_bit(sys.property(p).good))
+            .collect();
+        violations.push(violated);
+        if sys.constraints().iter().any(|&c| !sim.value_bit(c)) {
+            constraint_violations.push(k);
+        }
+        if k < trace.len() {
+            // Take the transition and compare with the recorded state.
+            sim.step(aig, &inputs);
+            let got: Vec<bool> = sim.state().iter().map(|&w| w & 1 == 1).collect();
+            if got != trace.state(k + 1) {
+                return Err(ReplayError::BadTransition { step: k });
+            }
+        }
+    }
+    Ok(Replay {
+        violations,
+        constraint_violations,
+    })
+}
+
+/// Completes a trace skeleton: given the initial state and the input
+/// sequence, derives every intermediate state by simulation.
+///
+/// This is how the engines materialize counterexamples: SAT models
+/// provide inputs; states follow deterministically.
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty or the vectors have wrong widths.
+pub fn complete_trace(sys: &TransitionSystem, inputs: Vec<Vec<bool>>) -> Trace {
+    assert!(!inputs.is_empty(), "need at least the final input vector");
+    let aig = sys.aig();
+    let mut sim = Simulator::new(aig);
+    let mut states = Vec::with_capacity(inputs.len());
+    for (k, inp) in inputs.iter().enumerate() {
+        assert_eq!(inp.len(), aig.num_inputs(), "input width mismatch");
+        states.push(sim.state().iter().map(|&w| w & 1 == 1).collect::<Vec<bool>>());
+        if k + 1 < inputs.len() {
+            let words: Vec<u64> = inp.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+            sim.step(aig, &words);
+        }
+    }
+    Trace::new(states, inputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use japrove_aig::Aig;
+
+    /// A 2-bit counter with properties "c < 2" and "c < 3".
+    fn counter_sys() -> (TransitionSystem, PropertyId, PropertyId) {
+        let mut aig = Aig::new();
+        let w = crate::Word::latches(&mut aig, 2, 0);
+        let n = w.increment(&mut aig);
+        w.set_next(&mut aig, &n);
+        let lt2 = w.lt_const(&mut aig, 2);
+        let lt3 = w.lt_const(&mut aig, 3);
+        let mut sys = TransitionSystem::new("cnt", aig);
+        let p2 = sys.add_property("lt2", lt2);
+        let p3 = sys.add_property("lt3", lt3);
+        (sys, p2, p3)
+    }
+
+    fn counter_trace(steps: usize) -> Trace {
+        let states = (0..=steps)
+            .map(|k| vec![(k & 1) == 1, (k & 2) == 2])
+            .collect();
+        let inputs = vec![vec![]; steps + 1];
+        Trace::new(states, inputs)
+    }
+
+    #[test]
+    fn replay_tracks_first_violations() {
+        let (sys, p2, p3) = counter_sys();
+        let r = replay(&sys, &counter_trace(3)).expect("valid trace");
+        assert_eq!(r.first_violation(p2), Some(2));
+        assert_eq!(r.first_violation(p3), Some(3));
+        assert!(r.violates_finally(p3));
+        assert!(r.violates_before_final(p3));
+        assert!(!r.violates_before_final(p2));
+        let (first, props) = r.first_any_violation().expect("some violation");
+        assert_eq!(first, 2);
+        assert_eq!(props, &[p2]);
+    }
+
+    #[test]
+    fn rejects_non_initial_start() {
+        let (sys, _, _) = counter_sys();
+        let t = Trace::new(vec![vec![true, false]], vec![vec![]]);
+        match replay(&sys, &t) {
+            Err(ReplayError::NotInitial) => {}
+            other => panic!("expected NotInitial, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_teleporting_transition() {
+        let (sys, _, _) = counter_sys();
+        let t = Trace::new(
+            vec![vec![false, false], vec![false, true]], // 0 -> 2 is not +1
+            vec![vec![], vec![]],
+        );
+        match replay(&sys, &t) {
+            Err(ReplayError::BadTransition { step: 0 }) => {}
+            other => panic!("expected BadTransition, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_widths() {
+        let (sys, _, _) = counter_sys();
+        let t = Trace::new(vec![vec![false]], vec![vec![]]);
+        match replay(&sys, &t) {
+            Err(ReplayError::StateWidth { step: 0 }) => {}
+            other => panic!("expected StateWidth, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constraints_recorded() {
+        let mut aig = Aig::new();
+        let w = crate::Word::latches(&mut aig, 2, 0);
+        let n = w.increment(&mut aig);
+        w.set_next(&mut aig, &n);
+        let lt2 = w.lt_const(&mut aig, 2);
+        let mut sys = TransitionSystem::new("cnt", aig);
+        sys.add_constraint(lt2);
+        let r = replay(&sys, &counter_trace(2)).expect("valid");
+        assert_eq!(r.constraint_violations(), &[2]);
+    }
+
+    #[test]
+    fn complete_trace_simulates_states() {
+        let (sys, _, p3) = counter_sys();
+        let t = complete_trace(&sys, vec![vec![]; 4]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.state(3), &[true, true]);
+        let r = replay(&sys, &t).expect("valid");
+        assert!(r.violates_finally(p3));
+    }
+
+    #[test]
+    fn input_dependent_property() {
+        // Property "input is high" fails whenever the chosen input bit is 0.
+        let mut aig = Aig::new();
+        let req = aig.add_input();
+        let l = aig.add_latch(false);
+        aig.set_next(l, l);
+        let mut sys = TransitionSystem::new("io", aig);
+        let p = sys.add_property("req_high", req);
+        let t = Trace::new(vec![vec![false]], vec![vec![false]]);
+        let r = replay(&sys, &t).expect("valid");
+        assert!(r.violates_finally(p));
+        let t2 = Trace::new(vec![vec![false]], vec![vec![true]]);
+        let r2 = replay(&sys, &t2).expect("valid");
+        assert!(!r2.violates_finally(p));
+    }
+}

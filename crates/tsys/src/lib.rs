@@ -1,0 +1,48 @@
+//! Transition systems, multi-property specifications and traces.
+//!
+//! This crate defines the `(I, T)`-system abstraction of the paper
+//! (§2-A): a netlist ([`japrove_aig::Aig`]) whose latches carry reset
+//! values (the initial states `I`) and next-state functions (the
+//! transition relation `T`), together with a list of safety
+//! [`Property`]s `P1..Pk` and optional design-level invariant
+//! constraints.
+//!
+//! It also provides:
+//!
+//! * [`Word`] — word-level construction helpers (counters,
+//!   comparators, adders) used by the benchmark generators,
+//! * [`Trace`] — concrete counterexample witnesses,
+//! * [`replay`] — simulation-based validation of traces, recording
+//!   which properties fail at which steps (the ground truth used to
+//!   check the paper's debugging-set propositions).
+//!
+//! # Examples
+//!
+//! ```
+//! use japrove_aig::Aig;
+//! use japrove_tsys::{TransitionSystem, Word};
+//!
+//! // An 8-bit counter that must stay below 200.
+//! let mut aig = Aig::new();
+//! let count = Word::latches(&mut aig, 8, 0);
+//! let next = count.increment(&mut aig);
+//! count.set_next(&mut aig, &next);
+//! let safe = count.lt_const(&mut aig, 200);
+//! let mut sys = TransitionSystem::new("counter", aig);
+//! let p = sys.add_property("below_200", safe);
+//! assert_eq!(sys.property(p).name, "below_200");
+//! ```
+
+mod builder;
+mod check;
+mod property;
+mod system;
+mod trace;
+mod witness;
+
+pub use builder::Word;
+pub use check::{complete_trace, replay, Replay, ReplayError};
+pub use property::{Expectation, Property, PropertyId};
+pub use system::TransitionSystem;
+pub use trace::Trace;
+pub use witness::{parse_witness, write_witness, ParseWitnessError};

@@ -1,0 +1,81 @@
+//! Safety properties and their expectations.
+
+use japrove_aig::AigLit;
+use std::fmt;
+
+/// Identifier of a property inside a
+/// [`TransitionSystem`](crate::TransitionSystem).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PropertyId(pub(crate) usize);
+
+impl PropertyId {
+    /// Creates an id from a raw index.
+    pub fn new(index: usize) -> Self {
+        PropertyId(index)
+    }
+
+    /// The dense index of this property.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for PropertyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Whether a property is Expected To Hold or Expected To Fail
+/// (§5 of the paper). ETF properties are excluded from the assumption
+/// set during JA-verification so their counterexamples are not
+/// suppressed.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Expectation {
+    /// Expected To Hold (ETH) — the default.
+    #[default]
+    Hold,
+    /// Expected To Fail (ETF) — e.g. a reachability goal.
+    Fail,
+}
+
+/// A safety property `P(S)`: holds in a state iff [`Property::good`]
+/// evaluates to true there.
+#[derive(Clone, Debug)]
+pub struct Property {
+    /// Human-readable name (from the AIGER symbol table or generator).
+    pub name: String,
+    /// Edge that is true exactly in the good states.
+    pub good: AigLit,
+    /// ETH/ETF classification.
+    pub expectation: Expectation,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_display_and_index() {
+        let id = PropertyId::new(7);
+        assert_eq!(id.to_string(), "P7");
+        assert_eq!(id.index(), 7);
+    }
+
+    #[test]
+    fn default_expectation_is_hold() {
+        assert_eq!(Expectation::default(), Expectation::Hold);
+    }
+
+    #[test]
+    fn property_is_cloneable() {
+        let p = Property {
+            name: "x".into(),
+            good: AigLit::TRUE,
+            expectation: Expectation::Fail,
+        };
+        let q = p.clone();
+        assert_eq!(q.name, "x");
+        assert_eq!(q.expectation, Expectation::Fail);
+    }
+}

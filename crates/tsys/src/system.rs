@@ -1,0 +1,225 @@
+//! Transition systems with multiple safety properties.
+
+use crate::{Expectation, Property, PropertyId};
+use japrove_aig::{Aig, AigLit, AigerModel};
+use std::fmt;
+
+/// An `(I, T)`-system in the paper's sense: a set of initial states
+/// (latch resets), a transition relation (latch next-state functions)
+/// and a list of safety properties `P1..Pk`.
+///
+/// Property `i` *holds in a state* iff its good-literal evaluates to
+/// true there; a counterexample is an initialized trace whose final
+/// state falsifies the literal (cf. §2-A of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use japrove_aig::Aig;
+/// use japrove_tsys::TransitionSystem;
+///
+/// let mut aig = Aig::new();
+/// let bit = aig.add_latch(false);
+/// aig.set_next(bit, !bit);
+/// let mut sys = TransitionSystem::new("toggle", aig);
+/// let p = sys.add_property("never_high", !bit);
+/// assert_eq!(sys.num_properties(), 1);
+/// assert_eq!(sys.property(p).name, "never_high");
+/// ```
+#[derive(Clone)]
+pub struct TransitionSystem {
+    name: String,
+    aig: Aig,
+    properties: Vec<Property>,
+    constraints: Vec<AigLit>,
+}
+
+impl TransitionSystem {
+    /// Creates a system over the given graph with no properties yet.
+    pub fn new(name: impl Into<String>, aig: Aig) -> Self {
+        TransitionSystem {
+            name: name.into(),
+            aig,
+            properties: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Builds a system from a parsed AIGER model: each bad-state
+    /// literal `b_i` becomes the property `!b_i`, named from the symbol
+    /// table when present.
+    pub fn from_aiger(name: impl Into<String>, model: AigerModel) -> Self {
+        let mut sys = TransitionSystem::new(name, model.aig);
+        for (i, &bad) in model.bads.iter().enumerate() {
+            let key = format!("b{i}");
+            let prop_name = model
+                .symbols
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, n)| n.clone())
+                .unwrap_or_else(|| format!("p{i}"));
+            sys.add_property(prop_name, !bad);
+        }
+        sys.constraints = model.constraints;
+        sys
+    }
+
+    /// Converts back to an AIGER model (properties become bad-state
+    /// literals, names go to the symbol table).
+    pub fn to_aiger(&self) -> AigerModel {
+        AigerModel {
+            aig: self.aig.clone(),
+            outputs: Vec::new(),
+            bads: self.properties.iter().map(|p| !p.good).collect(),
+            constraints: self.constraints.clone(),
+            symbols: self
+                .properties
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (format!("b{i}"), p.name.clone()))
+                .collect(),
+            comments: vec![format!("japrove system '{}'", self.name)],
+        }
+    }
+
+    /// The design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying graph.
+    pub fn aig(&self) -> &Aig {
+        &self.aig
+    }
+
+    /// Mutable access to the graph (for adding monitor logic).
+    pub fn aig_mut(&mut self) -> &mut Aig {
+        &mut self.aig
+    }
+
+    /// Number of latches.
+    pub fn num_latches(&self) -> usize {
+        self.aig.num_latches()
+    }
+
+    /// Number of primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.aig.num_inputs()
+    }
+
+    /// Number of properties.
+    pub fn num_properties(&self) -> usize {
+        self.properties.len()
+    }
+
+    /// Registers a property expected to hold; returns its id.
+    pub fn add_property(&mut self, name: impl Into<String>, good: AigLit) -> PropertyId {
+        self.add_property_with(name, good, Expectation::Hold)
+    }
+
+    /// Registers a property with an explicit expectation (ETH/ETF,
+    /// cf. §5 of the paper).
+    pub fn add_property_with(
+        &mut self,
+        name: impl Into<String>,
+        good: AigLit,
+        expectation: Expectation,
+    ) -> PropertyId {
+        let id = PropertyId(self.properties.len());
+        self.properties.push(Property {
+            name: name.into(),
+            good,
+            expectation,
+        });
+        id
+    }
+
+    /// The property with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn property(&self, id: PropertyId) -> &Property {
+        &self.properties[id.0]
+    }
+
+    /// All properties in declaration order.
+    pub fn properties(&self) -> &[Property] {
+        &self.properties
+    }
+
+    /// All property ids in declaration order.
+    pub fn property_ids(&self) -> impl Iterator<Item = PropertyId> + '_ {
+        (0..self.properties.len()).map(PropertyId)
+    }
+
+    /// Design-level invariant constraints (AIGER `C` lines), assumed
+    /// true in every state of every trace.
+    pub fn constraints(&self) -> &[AigLit] {
+        &self.constraints
+    }
+
+    /// Adds a design-level invariant constraint.
+    pub fn add_constraint(&mut self, lit: AigLit) {
+        self.constraints.push(lit);
+    }
+}
+
+impl fmt::Debug for TransitionSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TransitionSystem('{}', {} latches, {} inputs, {} properties)",
+            self.name,
+            self.num_latches(),
+            self.num_inputs(),
+            self.num_properties()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use japrove_aig::read_aiger;
+
+    #[test]
+    fn aiger_round_trip_keeps_properties() {
+        let mut aig = Aig::new();
+        let l = aig.add_latch(false);
+        aig.set_next(l, !l);
+        let mut sys = TransitionSystem::new("t", aig);
+        sys.add_property("stay_low", !l);
+        let model = sys.to_aiger();
+        assert_eq!(model.bads.len(), 1);
+        let mut text = Vec::new();
+        japrove_aig::write_aiger_ascii(&mut text, &model).expect("write");
+        let back = TransitionSystem::from_aiger("t2", read_aiger(&text).expect("parse"));
+        assert_eq!(back.num_properties(), 1);
+        assert_eq!(back.property(PropertyId::new(0)).name, "stay_low");
+    }
+
+    #[test]
+    fn expectations_recorded() {
+        let mut aig = Aig::new();
+        let l = aig.add_latch(false);
+        aig.set_next(l, l);
+        let mut sys = TransitionSystem::new("t", aig);
+        let a = sys.add_property("eth", !l);
+        let b = sys.add_property_with("etf", l, Expectation::Fail);
+        assert_eq!(sys.property(a).expectation, Expectation::Hold);
+        assert_eq!(sys.property(b).expectation, Expectation::Fail);
+    }
+
+    #[test]
+    fn property_ids_enumerate_in_order() {
+        let mut aig = Aig::new();
+        let l = aig.add_latch(false);
+        aig.set_next(l, l);
+        let mut sys = TransitionSystem::new("t", aig);
+        sys.add_property("a", !l);
+        sys.add_property("b", l);
+        let ids: Vec<usize> = sys.property_ids().map(|p| p.index()).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+}

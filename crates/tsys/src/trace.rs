@@ -1,0 +1,178 @@
+//! Concrete execution traces (counterexample witnesses).
+
+use std::fmt;
+
+/// A concrete initialized trace: `states[0]` is the initial state and
+/// `inputs[k]` are the input values at step `k`.
+///
+/// There is one input vector *per state* (AIGER witness convention):
+/// `inputs[k]` drives the transition from `states[k]` to
+/// `states[k + 1]` for `k < len()`, and the final input vector
+/// `inputs[len()]` only feeds the combinational logic of the final
+/// state — necessary because properties may depend on primary inputs
+/// (the paper's `P0: req == 1` is an example).
+///
+/// Invariant: `states.len() == inputs.len()`.
+///
+/// # Examples
+///
+/// ```
+/// use japrove_tsys::Trace;
+/// let t = Trace::new(vec![vec![false]], vec![vec![true]]);
+/// assert_eq!(t.len(), 0); // zero transitions: a single-state trace
+/// assert_eq!(t.num_states(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Trace {
+    states: Vec<Vec<bool>>,
+    inputs: Vec<Vec<bool>>,
+}
+
+impl Trace {
+    /// Creates a trace from explicit states and per-state inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `states.len() == inputs.len()` and there is at
+    /// least one state.
+    pub fn new(states: Vec<Vec<bool>>, inputs: Vec<Vec<bool>>) -> Self {
+        assert!(!states.is_empty(), "a trace has at least one state");
+        assert_eq!(
+            states.len(),
+            inputs.len(),
+            "one input vector per state (the last one is evaluation-only)"
+        );
+        Trace { states, inputs }
+    }
+
+    /// Number of transitions (the paper's counterexample *depth*).
+    pub fn len(&self) -> usize {
+        self.states.len() - 1
+    }
+
+    /// Returns `true` for a single-state trace with no transitions.
+    pub fn is_empty(&self) -> bool {
+        self.states.len() == 1
+    }
+
+    /// Number of states (`len() + 1`).
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The state at step `k` (one Boolean per latch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn state(&self, k: usize) -> &[bool] {
+        &self.states[k]
+    }
+
+    /// The inputs at step `k` (one Boolean per input).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn input(&self, k: usize) -> &[bool] {
+        &self.inputs[k]
+    }
+
+    /// All states.
+    pub fn states(&self) -> &[Vec<bool>] {
+        &self.states
+    }
+
+    /// All input vectors (one per state).
+    pub fn inputs(&self) -> &[Vec<bool>] {
+        &self.inputs
+    }
+
+    /// The final state.
+    pub fn final_state(&self) -> &[bool] {
+        self.states.last().expect("trace has at least one state")
+    }
+
+    /// The inputs at the final state.
+    pub fn final_input(&self) -> &[bool] {
+        self.inputs.last().expect("trace has at least one state")
+    }
+
+    /// Truncates the trace to `len` transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds the current length.
+    pub fn truncate(&mut self, len: usize) {
+        assert!(len <= self.len(), "cannot extend by truncation");
+        self.states.truncate(len + 1);
+        self.inputs.truncate(len + 1);
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "trace with {} transition(s):", self.len())?;
+        for (k, state) in self.states.iter().enumerate() {
+            write!(f, "  s{k}: ")?;
+            for &b in state {
+                write!(f, "{}", b as u8)?;
+            }
+            write!(f, "   i{k}: ")?;
+            for &b in &self.inputs[k] {
+                write!(f, "{}", b as u8)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Trace::new(
+            vec![vec![false, false], vec![true, false], vec![true, true]],
+            vec![vec![true], vec![false], vec![true]],
+        );
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.num_states(), 3);
+        assert_eq!(t.state(1), &[true, false]);
+        assert_eq!(t.input(0), &[true]);
+        assert_eq!(t.final_state(), &[true, true]);
+        assert_eq!(t.final_input(), &[true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one input vector per state")]
+    fn mismatched_lengths_panic() {
+        let _ = Trace::new(vec![vec![false]], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one state")]
+    fn empty_trace_panics() {
+        let _ = Trace::new(vec![], vec![]);
+    }
+
+    #[test]
+    fn truncation() {
+        let mut t = Trace::new(
+            vec![vec![false], vec![true], vec![false]],
+            vec![vec![], vec![], vec![]],
+        );
+        t.truncate(1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.final_state(), &[true]);
+    }
+
+    #[test]
+    fn display_contains_states() {
+        let t = Trace::new(vec![vec![true, false]], vec![vec![]]);
+        let s = t.to_string();
+        assert!(s.contains("s0: 10"));
+    }
+}

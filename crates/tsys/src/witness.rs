@@ -1,0 +1,210 @@
+//! AIGER witness format I/O.
+//!
+//! Counterexamples interchange with the HWMCC tool ecosystem through
+//! the AIGER witness format:
+//!
+//! ```text
+//! 1            status: satisfiable (property violated)
+//! b<i>         the falsified bad-state property
+//! 010...       initial latch values
+//! 10...        input vector, one line per frame (including the last)
+//! .            terminator
+//! ```
+
+use crate::{PropertyId, Trace, TransitionSystem};
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Writes a counterexample for property `prop` in AIGER witness
+/// format.
+///
+/// A mut reference can be passed as the writer.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use japrove_aig::Aig;
+/// use japrove_tsys::{write_witness, PropertyId, Trace, TransitionSystem};
+///
+/// let mut aig = Aig::new();
+/// let bit = aig.add_latch(false);
+/// aig.set_next(bit, !bit);
+/// let mut sys = TransitionSystem::new("toggle", aig);
+/// let p = sys.add_property("stay_low", !bit);
+/// let trace = Trace::new(vec![vec![false], vec![true]], vec![vec![], vec![]]);
+/// let mut out = Vec::new();
+/// write_witness(&mut out, &sys, p, &trace)?;
+/// assert_eq!(String::from_utf8(out)?, "1\nb0\n0\n\n\n.\n");
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_witness<W: Write>(
+    mut w: W,
+    _sys: &TransitionSystem,
+    prop: PropertyId,
+    trace: &Trace,
+) -> io::Result<()> {
+    writeln!(w, "1")?;
+    writeln!(w, "b{}", prop.index())?;
+    for &bit in trace.state(0) {
+        write!(w, "{}", bit as u8)?;
+    }
+    writeln!(w)?;
+    for inputs in trace.inputs() {
+        for &bit in inputs {
+            write!(w, "{}", bit as u8)?;
+        }
+        writeln!(w)?;
+    }
+    writeln!(w, ".")
+}
+
+/// Error produced by [`parse_witness`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseWitnessError {
+    /// The witness is not a "1" (satisfiable) stimulus.
+    NotSat,
+    /// Structurally malformed content.
+    Malformed(String),
+}
+
+impl fmt::Display for ParseWitnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseWitnessError::NotSat => write!(f, "witness status is not '1'"),
+            ParseWitnessError::Malformed(m) => write!(f, "malformed witness: {m}"),
+        }
+    }
+}
+
+impl Error for ParseWitnessError {}
+
+/// Parses an AIGER witness back into a property index and a trace,
+/// re-deriving intermediate states by simulation on `sys`.
+///
+/// # Errors
+///
+/// Returns [`ParseWitnessError`] for unsatisfiable or malformed
+/// witnesses.
+pub fn parse_witness<R: BufRead>(
+    reader: R,
+    sys: &TransitionSystem,
+) -> Result<(PropertyId, Trace), ParseWitnessError> {
+    let mut lines = reader.lines().map_while(Result::ok);
+    let status = lines
+        .next()
+        .ok_or_else(|| ParseWitnessError::Malformed("empty witness".into()))?;
+    if status.trim() != "1" {
+        return Err(ParseWitnessError::NotSat);
+    }
+    let prop_line = lines
+        .next()
+        .ok_or_else(|| ParseWitnessError::Malformed("missing property line".into()))?;
+    let prop_idx: usize = prop_line
+        .trim()
+        .strip_prefix('b')
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| ParseWitnessError::Malformed(format!("bad property line '{prop_line}'")))?;
+    let init_line = lines
+        .next()
+        .ok_or_else(|| ParseWitnessError::Malformed("missing initial state".into()))?;
+    let parse_bits = |line: &str, expect: usize, what: &str| -> Result<Vec<bool>, ParseWitnessError> {
+        let bits: Vec<bool> = line.trim().chars().map(|c| c == '1').collect();
+        if bits.len() != expect {
+            return Err(ParseWitnessError::Malformed(format!(
+                "{what} has {} bits, expected {expect}",
+                bits.len()
+            )));
+        }
+        Ok(bits)
+    };
+    let init = parse_bits(&init_line, sys.num_latches(), "initial state")?;
+    let mut inputs = Vec::new();
+    for line in lines {
+        let line = line.trim().to_string();
+        if line == "." {
+            break;
+        }
+        inputs.push(parse_bits(&line, sys.num_inputs(), "input vector")?);
+    }
+    if inputs.is_empty() {
+        return Err(ParseWitnessError::Malformed("no input frames".into()));
+    }
+    // Re-derive states by simulation from the given initial state.
+    let aig = sys.aig();
+    let words: Vec<u64> = init.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+    let mut sim = japrove_aig::Simulator::with_state(aig, words);
+    let mut states = vec![init];
+    for inp in &inputs[..inputs.len() - 1] {
+        let in_words: Vec<u64> = inp.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+        sim.step(aig, &in_words);
+        states.push(sim.state().iter().map(|&w| w & 1 == 1).collect());
+    }
+    Ok((PropertyId::new(prop_idx), Trace::new(states, inputs)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{replay, Word};
+    use japrove_aig::Aig;
+
+    fn counter_sys() -> (TransitionSystem, PropertyId) {
+        let mut aig = Aig::new();
+        let w = Word::latches(&mut aig, 3, 0);
+        let n = w.increment(&mut aig);
+        w.set_next(&mut aig, &n);
+        let safe = w.lt_const(&mut aig, 3);
+        let mut sys = TransitionSystem::new("cnt", aig);
+        let p = sys.add_property("lt3", safe);
+        (sys, p)
+    }
+
+    #[test]
+    fn round_trip_preserves_trace() {
+        let (sys, p) = counter_sys();
+        let trace = crate::complete_trace(&sys, vec![vec![]; 4]);
+        let mut buf = Vec::new();
+        write_witness(&mut buf, &sys, p, &trace).expect("write");
+        let (prop, back) = parse_witness(&buf[..], &sys).expect("parse");
+        assert_eq!(prop, p);
+        assert_eq!(back, trace);
+        let r = replay(&sys, &back).expect("valid");
+        assert!(r.violates_finally(p));
+    }
+
+    #[test]
+    fn rejects_unsat_witness() {
+        let (sys, _) = counter_sys();
+        assert_eq!(
+            parse_witness("0\n".as_bytes(), &sys),
+            Err(ParseWitnessError::NotSat)
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_widths() {
+        let (sys, _) = counter_sys();
+        let text = "1\nb0\n00\n\n.\n"; // 2 latch bits instead of 3
+        assert!(matches!(
+            parse_witness(text.as_bytes(), &sys),
+            Err(ParseWitnessError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage_property_line() {
+        let (sys, _) = counter_sys();
+        let text = "1\nxyz\n000\n\n.\n";
+        assert!(matches!(
+            parse_witness(text.as_bytes(), &sys),
+            Err(ParseWitnessError::Malformed(_))
+        ));
+    }
+}

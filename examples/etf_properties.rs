@@ -1,0 +1,48 @@
+//! Expected-To-Fail properties (§5).
+//!
+//! An ETF property encodes a reachability goal: its "counterexample"
+//! is the desired witness. JA-verification must not suppress it by
+//! assuming other properties that would exclude the witness — so ETF
+//! properties are removed from the assumption set.
+//!
+//! ```sh
+//! cargo run --release --example etf_properties
+//! ```
+
+use japrove::core::{ja_verify, local_assumptions, SeparateOptions};
+use japrove::tsys::{Expectation, TransitionSystem, Word};
+
+fn main() {
+    // A counter with a handshake flag that rises at value 12.
+    let mut aig = japrove::aig::Aig::new();
+    let count = Word::latches(&mut aig, 5, 0);
+    let next = count.increment(&mut aig);
+    count.set_next(&mut aig, &next);
+    let at12 = count.eq_const(&mut aig, 12);
+    let in_range = count.lt_const(&mut aig, 32);
+
+    let mut sys = TransitionSystem::new("handshake", aig);
+    let p_range = sys.add_property("count_in_range", in_range);
+    // Reachability goal phrased as an ETF safety property: "the flag
+    // never rises" is *expected to fail*, and the counterexample is the
+    // witness that value 12 is reachable.
+    let p_goal = sys.add_property_with("never_reaches_12", !at12, Expectation::Fail);
+
+    // ETF properties are excluded from the assumption set:
+    let assumed = local_assumptions(&sys);
+    assert_eq!(assumed, vec![p_range]);
+    println!("assumption set: {:?} (ETF goal excluded)", assumed);
+
+    let report = ja_verify(&sys, &SeparateOptions::local());
+    println!("{report}");
+
+    let goal = report.result(p_goal).unwrap();
+    assert!(goal.fails(), "the goal must produce its witness");
+    let witness = goal.counterexample().unwrap();
+    println!(
+        "reachability witness found: value 12 reached after {} steps",
+        witness.depth
+    );
+    assert_eq!(witness.depth, 12);
+    assert!(report.result(p_range).unwrap().holds());
+}

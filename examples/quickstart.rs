@@ -1,0 +1,55 @@
+//! Quickstart: build a design, add properties, run JA-verification.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use japrove::core::{ja_verify, local_assumptions, validate_debugging_set, SeparateOptions};
+use japrove::tsys::{TransitionSystem, Word};
+
+fn main() {
+    // A 6-bit counter driving a small "green light" monitor: the light
+    // turns on while the counter is in [8, 16).
+    let mut aig = japrove::aig::Aig::new();
+    let count = Word::latches(&mut aig, 6, 0);
+    let next = count.increment(&mut aig);
+    count.set_next(&mut aig, &next);
+
+    let ge8 = count.ge_const(&mut aig, 8);
+    let lt16 = count.lt_const(&mut aig, 16);
+    let window = aig.and(ge8, lt16);
+    let green = aig.add_latch(false);
+    aig.set_next(green, window);
+
+    // Three properties of varying truth:
+    //  - count_in_range: trivially true;
+    //  - never_green:    false, first fails at depth 9;
+    //  - green_in_window: "green implies the window is (still) open" —
+    //    false (green lags the window by one cycle, so it is still on
+    //    at count == 16), but every counterexample passes through a
+    //    violation of never_green first.
+    let implies_window = aig.or(!green, window);
+    let mut sys = TransitionSystem::new("traffic", aig);
+    let in_range = count.lt_const(sys.aig_mut(), 64);
+    let p_range = sys.add_property("count_in_range", in_range);
+    let p_green = sys.add_property("never_green", !green);
+    let p_window = sys.add_property("green_in_window", implies_window);
+
+    // JA-verification: each property is checked assuming all others.
+    let report = ja_verify(&sys, &SeparateOptions::local());
+    println!("{report}");
+    println!("debugging set: {:?}", report.debugging_set());
+
+    // The library validates its own guarantees (Props. 2-6).
+    let assumed = local_assumptions(&sys);
+    validate_debugging_set(&sys, &report, &assumed).expect("debugging-set guarantees hold");
+
+    assert!(report.result(p_range).unwrap().holds());
+    assert!(report.result(p_green).unwrap().fails());
+    assert!(
+        report.result(p_window).unwrap().holds(),
+        "green_in_window holds locally: it can never fail first"
+    );
+    assert_eq!(report.debugging_set(), vec![p_green]);
+    println!("ok: JA-verification isolated the first-failing property");
+}

@@ -1,0 +1,232 @@
+//! The japrove command-line front-end: the equivalent of the paper's
+//! `Ja-ver`/`Jnt-ver` driver scripts (§7).
+//!
+//! Reads a (multi-property) AIGER design, runs the selected
+//! verification mode and prints a per-property report plus the
+//! debugging set; optionally writes AIGER witnesses for every failing
+//! property.
+
+use japrove::core::{
+    grouped_verify, ja_verify, joint_verify, local_assumptions, parallel_ja_verify,
+    separate_verify, validate_debugging_set, GroupingOptions, JointOptions, MultiReport,
+    SeparateOptions,
+};
+use japrove::ic3::Lifting;
+use japrove::tsys::{write_witness, TransitionSystem};
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+japrove — multi-property model checking with JA-verification (DATE'18)
+
+USAGE:
+    japrove [OPTIONS] <design.aag|design.aig>
+
+OPTIONS:
+    --mode <ja|joint|separate-global|grouped|parallel>
+                              verification driver [default: ja]
+    --threads <N>             workers for --mode parallel [default: 2]
+    --per-property <SECS>     time limit per property
+    --total <SECS>            time limit for the whole design
+    --lifting <ignore|respect> state-lifting mode (§7-A) [default: ignore]
+    --no-reuse                disable clause re-use (§6)
+    --witness-dir <DIR>       write AIGER witnesses for failing properties
+    --validate                re-check the debugging-set guarantees
+    -q, --quiet               only print the summary line
+    -h, --help                show this help
+";
+
+struct Cli {
+    path: String,
+    mode: String,
+    threads: usize,
+    per_property: Option<Duration>,
+    total: Option<Duration>,
+    lifting: Lifting,
+    reuse: bool,
+    witness_dir: Option<String>,
+    validate: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli {
+        path: String::new(),
+        mode: "ja".into(),
+        threads: 2,
+        per_property: None,
+        total: None,
+        lifting: Lifting::Ignore,
+        reuse: true,
+        witness_dir: None,
+        validate: false,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "-h" | "--help" => return Err(String::new()),
+            "-q" | "--quiet" => cli.quiet = true,
+            "--validate" => cli.validate = true,
+            "--no-reuse" => cli.reuse = false,
+            "--mode" => cli.mode = value("--mode")?,
+            "--threads" => {
+                cli.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "invalid --threads".to_string())?
+            }
+            "--per-property" => {
+                let secs: f64 = value("--per-property")?
+                    .parse()
+                    .map_err(|_| "invalid --per-property".to_string())?;
+                cli.per_property = Some(Duration::from_secs_f64(secs));
+            }
+            "--total" => {
+                let secs: f64 = value("--total")?
+                    .parse()
+                    .map_err(|_| "invalid --total".to_string())?;
+                cli.total = Some(Duration::from_secs_f64(secs));
+            }
+            "--lifting" => {
+                cli.lifting = match value("--lifting")?.as_str() {
+                    "ignore" => Lifting::Ignore,
+                    "respect" => Lifting::Respect,
+                    other => return Err(format!("unknown lifting mode '{other}'")),
+                }
+            }
+            "--witness-dir" => cli.witness_dir = Some(value("--witness-dir")?),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option '{other}'"))
+            }
+            path => {
+                if !cli.path.is_empty() {
+                    return Err("more than one design file given".into());
+                }
+                cli.path = path.to_string();
+            }
+        }
+    }
+    if cli.path.is_empty() {
+        return Err("no design file given".into());
+    }
+    Ok(cli)
+}
+
+fn run(cli: &Cli) -> Result<(MultiReport, TransitionSystem), String> {
+    let bytes = std::fs::read(&cli.path).map_err(|e| format!("cannot read {}: {e}", cli.path))?;
+    let model = japrove::aig::read_aiger(&bytes).map_err(|e| e.to_string())?;
+    if model.bads.is_empty() {
+        return Err("design has no bad-state properties (B section)".into());
+    }
+    let name = std::path::Path::new(&cli.path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("design")
+        .to_string();
+    let sys = TransitionSystem::from_aiger(name, model);
+
+    let mut sep = SeparateOptions::local().lifting(cli.lifting).reuse(cli.reuse);
+    if let Some(d) = cli.per_property {
+        sep = sep.per_property_timeout(d);
+    }
+    if let Some(d) = cli.total {
+        sep = sep.total_timeout(d);
+    }
+    let mut joint = JointOptions::new();
+    if let Some(d) = cli.total {
+        joint = joint.total_timeout(d);
+    }
+
+    let report = match cli.mode.as_str() {
+        "ja" => ja_verify(&sys, &sep),
+        "separate-global" => {
+            let mut opts = sep.clone();
+            opts.scope = japrove::core::Scope::Global;
+            separate_verify(&sys, &opts)
+        }
+        "joint" => joint_verify(&sys, &joint),
+        "grouped" => grouped_verify(&sys, &GroupingOptions::new().joint(joint)),
+        "parallel" => parallel_ja_verify(&sys, cli.threads, &sep),
+        other => return Err(format!("unknown mode '{other}'")),
+    };
+    Ok((report, sys))
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_args() {
+        Ok(cli) => cli,
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let (report, sys) = match run(&cli) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if cli.quiet {
+        println!("{}", report.summary());
+    } else {
+        println!("{report}");
+        let debug_set: Vec<String> = report
+            .debugging_set()
+            .iter()
+            .map(|&p| sys.property(p).name.clone())
+            .collect();
+        if !debug_set.is_empty() {
+            println!("debugging set (fix these first): {debug_set:?}");
+        }
+    }
+
+    if let Some(dir) = &cli.witness_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {dir}: {e}");
+            return ExitCode::from(2);
+        }
+        for r in &report.results {
+            if let Some(cex) = r.counterexample() {
+                let path = format!("{dir}/{}.cex", r.name);
+                match std::fs::File::create(&path) {
+                    Ok(mut f) => {
+                        if let Err(e) = write_witness(&mut f, &sys, r.id, &cex.trace) {
+                            eprintln!("error writing {path}: {e}");
+                        }
+                    }
+                    Err(e) => eprintln!("error creating {path}: {e}"),
+                }
+            }
+        }
+    }
+
+    if cli.validate {
+        let assumed = local_assumptions(&sys);
+        match validate_debugging_set(&sys, &report, &assumed) {
+            Ok(()) => eprintln!("validation: debugging-set guarantees hold"),
+            Err(e) => {
+                eprintln!("validation FAILED: {e}");
+                return ExitCode::from(3);
+            }
+        }
+    }
+
+    // Exit code 0: all hold; 1: some property fails; 4: unsolved left.
+    if report.num_false() > 0 {
+        ExitCode::from(1)
+    } else if report.num_unsolved() > 0 {
+        ExitCode::from(4)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,139 @@
+//! Cross-engine consistency: BMC, IC3 and the multi-property drivers
+//! must agree on randomly generated small designs, every
+//! counterexample must replay, and every certificate must re-verify.
+
+use japrove::core::{ja_verify, separate_verify, SeparateOptions};
+use japrove::genbench::FamilyParams;
+use japrove::ic3::{verify_certificate, Bmc, BmcResult, CheckOutcome, Ic3, Ic3Options};
+use japrove::sat::Budget;
+use japrove::tsys::replay;
+
+fn random_designs() -> Vec<japrove::genbench::GeneratedDesign> {
+    (0..6u64)
+        .map(|seed| {
+            FamilyParams::new(format!("rnd{seed}"), seed)
+                .easy_true(1 + (seed as usize % 3))
+                .chain(1 + (seed as usize % 3), 4 + seed % 5)
+                .shallow_fails(if seed % 2 == 0 { vec![2 + seed % 4] } else { vec![] })
+                .shadow_group(2, vec![6 + seed % 7])
+                .generate()
+        })
+        .collect()
+}
+
+#[test]
+fn ic3_agrees_with_bmc_on_every_property() {
+    for design in random_designs() {
+        let sys = &design.sys;
+        for p in sys.property_ids() {
+            let ic3_outcome = Ic3::new(sys, p, Ic3Options::new()).run();
+            let mut bmc = Bmc::new(sys);
+            let bmc_outcome = bmc.run(&[p], 24, Budget::unlimited());
+            match (&ic3_outcome, &bmc_outcome) {
+                (CheckOutcome::Falsified(cex), BmcResult::Cex { cex: bcex, .. }) => {
+                    assert_eq!(
+                        cex.depth, bcex.depth,
+                        "{}/{}: IC3 and BMC disagree on CEX depth",
+                        sys.name(),
+                        sys.property(p).name
+                    );
+                }
+                (CheckOutcome::Proved(cert), BmcResult::NoCexUpTo(24)) => {
+                    verify_certificate(sys, p, &[], cert).unwrap_or_else(|e| {
+                        panic!("{}/{}: bad certificate: {e}", sys.name(), sys.property(p).name)
+                    });
+                }
+                (a, b) => panic!(
+                    "{}/{}: inconsistent verdicts: ic3={a:?} bmc={b:?}",
+                    sys.name(),
+                    sys.property(p).name
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn every_counterexample_replays() {
+    for design in random_designs() {
+        let sys = &design.sys;
+        for opts in [SeparateOptions::local(), SeparateOptions::global()] {
+            let report = separate_verify(sys, &opts);
+            for r in &report.results {
+                if let Some(cex) = r.counterexample() {
+                    let rp = replay(sys, &cex.trace)
+                        .unwrap_or_else(|e| panic!("{}: {e}", r.name));
+                    assert!(
+                        rp.violates_finally(r.id),
+                        "{}: final state does not violate the property",
+                        r.name
+                    );
+                    assert_eq!(cex.trace.len(), cex.depth, "{}: depth mismatch", r.name);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn local_and_global_scopes_are_consistent() {
+    // fails-locally implies fails-globally; holds-globally implies
+    // holds-locally (Prop. 2).
+    for design in random_designs() {
+        let sys = &design.sys;
+        let local = ja_verify(sys, &SeparateOptions::local());
+        let global = separate_verify(sys, &SeparateOptions::global());
+        for (l, g) in local.results.iter().zip(&global.results) {
+            assert_eq!(l.id, g.id);
+            if l.fails() {
+                assert!(g.fails(), "{}: local failure but global success", l.name);
+            }
+            if g.holds() {
+                assert!(l.holds(), "{}: global success but local failure", l.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn deep_counterexamples_match_ground_truth_depth() {
+    // Stress the deep-CEX path: global proofs of shadowed properties.
+    let design = FamilyParams::new("deep", 99)
+        .shadow_group(2, vec![80])
+        .generate();
+    let sys = &design.sys;
+    let global = separate_verify(sys, &SeparateOptions::global());
+    let shadow = global
+        .results
+        .iter()
+        .find(|r| r.name.starts_with("shadow"))
+        .expect("shadow property");
+    let cex = shadow.counterexample().expect("fails globally");
+    assert_eq!(cex.depth, 82);
+    let rp = replay(sys, &cex.trace).expect("replayable");
+    assert!(rp.violates_finally(shadow.id));
+}
+
+#[test]
+fn certificates_from_multi_property_runs_verify() {
+    for design in random_designs().into_iter().take(3) {
+        let sys = &design.sys;
+        // Global scope: certificates must verify standalone.
+        let report = separate_verify(sys, &SeparateOptions::global());
+        for r in &report.results {
+            if let CheckOutcome::Proved(cert) = &r.outcome {
+                verify_certificate(sys, r.id, &[], cert)
+                    .unwrap_or_else(|e| panic!("{}: {e}", r.name));
+            }
+        }
+        // Local scope: certificates verify under the assumption set.
+        let assumed = japrove::core::local_assumptions(sys);
+        let report = ja_verify(sys, &SeparateOptions::local());
+        for r in &report.results {
+            if let CheckOutcome::Proved(cert) = &r.outcome {
+                verify_certificate(sys, r.id, &assumed, cert)
+                    .unwrap_or_else(|e| panic!("{}: {e}", r.name));
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! End-to-end JA-verification on the named benchmark stand-ins:
+//! verdict counts against ground truth, clause-reuse soundness,
+//! lifting-mode agreement and parallel-driver agreement.
+
+use japrove::core::{
+    ja_verify, local_assumptions, parallel_ja_verify, separate_verify, verify_reuse_soundness,
+    ClauseDb, SeparateOptions,
+};
+use japrove::genbench::{all_true_specs, failing_specs, probe_spec};
+use japrove::ic3::{CheckOutcome, Lifting};
+use std::time::Duration;
+
+fn opts() -> SeparateOptions {
+    SeparateOptions::local().per_property_timeout(Duration::from_secs(10))
+}
+
+#[test]
+fn failing_specs_match_ground_truth() {
+    for spec in failing_specs() {
+        let design = spec.generate();
+        let report = ja_verify(&design.sys, &opts());
+        assert_eq!(
+            report.debugging_set(),
+            design.expected_debugging_set(),
+            "{}: debugging set mismatch",
+            spec.name
+        );
+        assert_eq!(report.num_unsolved(), 0, "{}: unsolved", spec.name);
+        // Everything not in the debugging set holds locally.
+        assert_eq!(
+            report.num_true(),
+            design.sys.num_properties() - report.debugging_set().len(),
+            "{}",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn all_true_specs_prove_everything() {
+    for spec in all_true_specs() {
+        let design = spec.generate();
+        let report = ja_verify(&design.sys, &opts());
+        assert_eq!(
+            report.num_true(),
+            design.sys.num_properties(),
+            "{}: not all proved",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn clause_db_after_ja_is_sound() {
+    for spec in all_true_specs().into_iter().take(3) {
+        let design = spec.generate();
+        let report = ja_verify(&design.sys, &opts());
+        let db = ClauseDb::new();
+        for r in &report.results {
+            if let CheckOutcome::Proved(cert) = &r.outcome {
+                db.publish(cert.clauses.iter().cloned());
+            }
+        }
+        let assumed = local_assumptions(&design.sys);
+        verify_reuse_soundness(&design.sys, &assumed, &db.snapshot())
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+    }
+}
+
+#[test]
+fn lifting_modes_agree_on_verdicts() {
+    for spec in failing_specs().into_iter().take(4) {
+        let design = spec.generate();
+        let ignore = separate_verify(&design.sys, &opts().lifting(Lifting::Ignore));
+        let respect = separate_verify(&design.sys, &opts().lifting(Lifting::Respect));
+        for (a, b) in ignore.results.iter().zip(&respect.results) {
+            assert_eq!(a.holds(), b.holds(), "{}/{}", spec.name, a.name);
+            assert_eq!(a.fails(), b.fails(), "{}/{}", spec.name, a.name);
+        }
+    }
+}
+
+#[test]
+fn parallel_driver_agrees_with_sequential() {
+    let design = probe_spec().generate();
+    let seq = ja_verify(&design.sys, &opts());
+    let par = parallel_ja_verify(&design.sys, 4, &opts());
+    assert_eq!(seq.num_true(), par.num_true());
+    assert_eq!(seq.num_false(), par.num_false());
+    for (a, b) in seq.results.iter().zip(&par.results) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.holds(), b.holds(), "{}", a.name);
+    }
+}
+
+#[test]
+fn reuse_accelerates_or_preserves_verdicts() {
+    for spec in all_true_specs().into_iter().take(3) {
+        let design = spec.generate();
+        let with = separate_verify(&design.sys, &opts().reuse(true));
+        let without = separate_verify(&design.sys, &opts().reuse(false));
+        for (a, b) in with.results.iter().zip(&without.results) {
+            assert_eq!(a.holds(), b.holds(), "{}/{}", spec.name, a.name);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! The paper's Propositions 2–6, validated end-to-end on generated
+//! designs with independent SAT queries and concrete simulation.
+
+use japrove::core::{
+    check_local_global_agreement, ja_verify, joint_verify, local_assumptions,
+    separate_verify, validate_debugging_set, JointOptions, SeparateOptions,
+};
+use japrove::genbench::{Expected, FamilyParams};
+use japrove::tsys::replay;
+
+fn failing_design() -> japrove::genbench::GeneratedDesign {
+    FamilyParams::new("prop_check", 17)
+        .easy_true(3)
+        .chain(3, 6)
+        .shallow_fails(vec![2, 5])
+        .shadow_group(3, vec![12, 20])
+        .generate()
+}
+
+/// Prop. 2A (contrapositive) / Prop. 3: a property failing locally
+/// also fails globally.
+#[test]
+fn locally_failing_properties_fail_globally() {
+    let design = failing_design();
+    let local = ja_verify(&design.sys, &SeparateOptions::local());
+    let global = separate_verify(&design.sys, &SeparateOptions::global());
+    for id in local.debugging_set() {
+        let g = global.result(id).expect("result");
+        assert!(
+            g.fails(),
+            "{}: fails locally but not globally (contradicts Prop. 2)",
+            g.name
+        );
+    }
+}
+
+/// Prop. 5: if every property holds locally, every property holds
+/// globally.
+#[test]
+fn all_local_implies_all_global() {
+    let design = FamilyParams::new("all_true", 5)
+        .easy_true(4)
+        .ring(6, 5)
+        .chain(4, 8)
+        .generate();
+    let local = ja_verify(&design.sys, &SeparateOptions::local());
+    assert_eq!(local.num_true(), design.sys.num_properties());
+    let global = separate_verify(&design.sys, &SeparateOptions::global());
+    check_local_global_agreement(&local, &global).expect("Prop. 5");
+    assert_eq!(global.num_true(), design.sys.num_properties());
+}
+
+/// Prop. 6: the final state of every aggregate-property counterexample
+/// falsifies at least one debugging-set property.
+#[test]
+fn aggregate_cex_ends_in_debugging_set() {
+    let design = failing_design();
+    let local = ja_verify(&design.sys, &SeparateOptions::local());
+    let debug_set = local.debugging_set();
+    assert!(!debug_set.is_empty());
+
+    // The first counterexample produced by joint verification is a CEX
+    // for the aggregate of *all* properties.
+    let joint = joint_verify(&design.sys, &JointOptions::new());
+    let first_cex = joint
+        .results
+        .iter()
+        .filter_map(|r| r.counterexample())
+        .min_by_key(|c| c.depth)
+        .expect("some property fails");
+    let r = replay(&design.sys, &first_cex.trace).expect("replayable");
+    let final_violations = r.violated_at(first_cex.trace.len());
+    assert!(
+        final_violations.iter().any(|p| debug_set.contains(p)),
+        "aggregate CEX final state misses the debugging set (contradicts Prop. 6)"
+    );
+}
+
+/// The §3 debugging guarantee, checked by replay: no locally-failing
+/// property's counterexample contains an earlier violation of an
+/// assumed property.
+#[test]
+fn debugging_set_counterexamples_fail_first() {
+    let design = failing_design();
+    let report = ja_verify(&design.sys, &SeparateOptions::local());
+    let assumed = local_assumptions(&design.sys);
+    validate_debugging_set(&design.sys, &report, &assumed).expect("guarantees");
+}
+
+/// Ground truth: JA verdicts match the generator's per-property
+/// expectations exactly.
+#[test]
+fn ja_matches_generated_ground_truth() {
+    let design = failing_design();
+    let report = ja_verify(&design.sys, &SeparateOptions::local());
+    for (i, expected) in design.expected.iter().enumerate() {
+        let r = &report.results[report
+            .results
+            .iter()
+            .position(|r| r.id.index() == i)
+            .expect("result present")];
+        match expected {
+            Expected::True | Expected::ShadowedFailsAt { .. } => {
+                assert!(r.holds(), "{} should hold locally", r.name)
+            }
+            Expected::FailsAt(depth) => {
+                assert!(r.fails(), "{} should fail locally", r.name);
+                let cex = r.counterexample().expect("cex");
+                assert_eq!(cex.depth, *depth, "{}: wrong failure depth", r.name);
+            }
+        }
+    }
+}
+
+/// Shadowed properties fail globally at the expected depth, with the
+/// guard violated earlier on the trace.
+#[test]
+fn shadowed_failures_are_preceded_by_guards() {
+    let design = failing_design();
+    let global = separate_verify(&design.sys, &SeparateOptions::global());
+    for (i, expected) in design.expected.iter().enumerate() {
+        if let Expected::ShadowedFailsAt {
+            guard_depth,
+            own_depth,
+        } = expected
+        {
+            let r = global
+                .results
+                .iter()
+                .find(|r| r.id.index() == i)
+                .expect("result");
+            assert!(r.fails(), "{} fails globally", r.name);
+            let cex = r.counterexample().expect("cex");
+            assert_eq!(cex.depth, *own_depth, "{}", r.name);
+            let rp = replay(&design.sys, &cex.trace).expect("replayable");
+            let (first, _) = rp.first_any_violation().expect("violations");
+            assert_eq!(first, *guard_depth, "{}: guard must fail first", r.name);
+        }
+    }
+}
