@@ -87,7 +87,11 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn new(data: &'a [u8]) -> Self {
-        Cursor { data, pos: 0, line: 1 }
+        Cursor {
+            data,
+            pos: 0,
+            line: 1,
+        }
     }
 
     fn read_line(&mut self) -> Option<&'a str> {
@@ -103,7 +107,9 @@ impl<'a> Cursor<'a> {
             self.pos += 1; // consume newline
         }
         self.line += 1;
-        std::str::from_utf8(&self.data[start..end]).ok().map(|s| s.trim_end_matches('\r'))
+        std::str::from_utf8(&self.data[start..end])
+            .ok()
+            .map(|s| s.trim_end_matches('\r'))
     }
 
     fn read_byte(&mut self) -> Option<u8> {
@@ -158,9 +164,7 @@ pub fn read_aiger(data: &[u8]) -> Result<AigerModel, ParseAigerError> {
         "aig" => true,
         other => return Err(syntax("line 1", format!("unknown format '{other}'"))),
     };
-    let nums: Vec<u32> = parts
-        .map(|t| parse_u32(t, 1))
-        .collect::<Result<_, _>>()?;
+    let nums: Vec<u32> = parts.map(|t| parse_u32(t, 1)).collect::<Result<_, _>>()?;
     if nums.len() < 5 {
         return Err(syntax("line 1", "header needs at least M I L O A"));
     }
@@ -195,7 +199,10 @@ pub fn read_aiger(data: &[u8]) -> Result<AigerModel, ParseAigerError> {
                 .ok_or_else(|| syntax(format!("line {line_no}"), "missing input line"))?;
             let lit = parse_u32(line.trim(), line_no)?;
             if lit & 1 == 1 || lit == 0 {
-                return Err(syntax(format!("line {line_no}"), "input literal must be positive"));
+                return Err(syntax(
+                    format!("line {line_no}"),
+                    "input literal must be positive",
+                ));
             }
             input_vars.push(lit >> 1);
         }
@@ -222,12 +229,18 @@ pub fn read_aiger(data: &[u8]) -> Result<AigerModel, ParseAigerError> {
             }
             let lit = parse_u32(toks[0], line_no)?;
             if lit & 1 == 1 {
-                return Err(syntax(format!("line {line_no}"), "latch literal must be positive"));
+                return Err(syntax(
+                    format!("line {line_no}"),
+                    "latch literal must be positive",
+                ));
             }
             (lit >> 1, &toks[1..])
         };
         if rest.is_empty() {
-            return Err(syntax(format!("line {line_no}"), "latch needs a next-state literal"));
+            return Err(syntax(
+                format!("line {line_no}"),
+                "latch needs a next-state literal",
+            ));
         }
         let next = parse_u32(rest[0], line_no)?;
         let reset = match rest.get(1) {
@@ -252,17 +265,18 @@ pub fn read_aiger(data: &[u8]) -> Result<AigerModel, ParseAigerError> {
     }
 
     // Outputs, bads, constraints: literal codes, resolved later.
-    let read_codes = |cur: &mut Cursor<'_>, n: u32, what: &str| -> Result<Vec<u32>, ParseAigerError> {
-        let mut out = Vec::with_capacity(n as usize);
-        for _ in 0..n {
-            let line_no = cur.line;
-            let line = cur
-                .read_line()
-                .ok_or_else(|| syntax(format!("line {line_no}"), format!("missing {what} line")))?;
-            out.push(parse_u32(line.trim(), line_no)?);
-        }
-        Ok(out)
-    };
+    let read_codes =
+        |cur: &mut Cursor<'_>, n: u32, what: &str| -> Result<Vec<u32>, ParseAigerError> {
+            let mut out = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                let line_no = cur.line;
+                let line = cur.read_line().ok_or_else(|| {
+                    syntax(format!("line {line_no}"), format!("missing {what} line"))
+                })?;
+                out.push(parse_u32(line.trim(), line_no)?);
+            }
+            Ok(out)
+        };
     let output_codes = read_codes(&mut cur, o, "output")?;
     let bad_codes = read_codes(&mut cur, b, "bad")?;
     let constraint_codes = read_codes(&mut cur, c, "constraint")?;
@@ -280,8 +294,10 @@ pub fn read_aiger(data: &[u8]) -> Result<AigerModel, ParseAigerError> {
             let rhs1 = rhs0
                 .checked_sub(delta1)
                 .ok_or_else(|| syntax("binary section", "rhs1 delta underflow"))?;
-            let ea = resolve(&map, rhs0).ok_or_else(|| syntax("binary section", "operand not yet defined"))?;
-            let eb = resolve(&map, rhs1).ok_or_else(|| syntax("binary section", "operand not yet defined"))?;
+            let ea = resolve(&map, rhs0)
+                .ok_or_else(|| syntax("binary section", "operand not yet defined"))?;
+            let eb = resolve(&map, rhs1)
+                .ok_or_else(|| syntax("binary section", "operand not yet defined"))?;
             let edge = aig.and(ea, eb);
             map[lhs_var as usize] = Some(edge);
         }
@@ -293,13 +309,19 @@ pub fn read_aiger(data: &[u8]) -> Result<AigerModel, ParseAigerError> {
                 .ok_or_else(|| syntax(format!("line {line_no}"), "missing and-gate line"))?;
             let toks: Vec<&str> = line.split_whitespace().collect();
             if toks.len() != 3 {
-                return Err(syntax(format!("line {line_no}"), "and gate needs 'lhs rhs0 rhs1'"));
+                return Err(syntax(
+                    format!("line {line_no}"),
+                    "and gate needs 'lhs rhs0 rhs1'",
+                ));
             }
             let lhs = parse_u32(toks[0], line_no)?;
             let rhs0 = parse_u32(toks[1], line_no)?;
             let rhs1 = parse_u32(toks[2], line_no)?;
             if lhs & 1 == 1 {
-                return Err(syntax(format!("line {line_no}"), "and lhs must be positive"));
+                return Err(syntax(
+                    format!("line {line_no}"),
+                    "and lhs must be positive",
+                ));
             }
             let ea = resolve(&map, rhs0)
                 .ok_or_else(|| syntax(format!("line {line_no}"), "operand not yet defined"))?;
@@ -372,9 +394,9 @@ fn number_nodes(aig: &Aig) -> Vec<u32> {
         numbering[latch.node.index()] = next;
         next += 1;
     }
-    for idx in 0..aig.num_nodes() {
+    for (idx, slot) in numbering.iter_mut().enumerate().take(aig.num_nodes()) {
         if let crate::Node::And(_, _) = aig.node(crate::NodeId(idx as u32)) {
-            numbering[idx] = next;
+            *slot = next;
             next += 1;
         }
     }

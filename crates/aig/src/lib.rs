@@ -43,9 +43,9 @@ pub use crate::coi::Cone;
 pub use crate::sim::Simulator;
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
     use super::*;
-    use proptest::prelude::*;
+    use japrove_rng::SplitMix64;
 
     fn inv(l: AigLit, yes: bool) -> AigLit {
         if yes {
@@ -67,27 +67,34 @@ mod proptests {
         outputs: Vec<(usize, bool)>,
     }
 
-    fn arb_plan() -> impl Strategy<Value = CircuitPlan> {
-        (1usize..4, 1usize..4, 1usize..12)
-            .prop_flat_map(|(ni, nl, ng)| {
-                let pool0 = 1 + ni + nl;
-                let gates = proptest::collection::vec(
-                    (0usize..pool0, 0usize..pool0, any::<bool>(), any::<bool>()),
-                    ng,
-                );
-                let nexts = proptest::collection::vec((0usize..pool0 + ng, any::<bool>()), nl);
-                let outputs = proptest::collection::vec((0usize..pool0 + ng, any::<bool>()), 1..3);
-                (Just(ni), Just(nl), gates, nexts, outputs)
+    fn random_plan(rng: &mut SplitMix64) -> CircuitPlan {
+        let num_inputs = rng.gen_index(1, 4);
+        let num_latches = rng.gen_index(1, 4);
+        let ng = rng.gen_index(1, 12);
+        let pool0 = 1 + num_inputs + num_latches;
+        let gates = (0..ng)
+            .map(|_| {
+                (
+                    rng.gen_index(0, pool0),
+                    rng.gen_index(0, pool0),
+                    rng.gen_bool(),
+                    rng.gen_bool(),
+                )
             })
-            .prop_map(
-                |(num_inputs, num_latches, gates, nexts, outputs)| CircuitPlan {
-                    num_inputs,
-                    num_latches,
-                    gates,
-                    nexts,
-                    outputs,
-                },
-            )
+            .collect();
+        let nexts = (0..num_latches)
+            .map(|_| (rng.gen_index(0, pool0 + ng), rng.gen_bool()))
+            .collect();
+        let outputs = (0..rng.gen_index(1, 3))
+            .map(|_| (rng.gen_index(0, pool0 + ng), rng.gen_bool()))
+            .collect();
+        CircuitPlan {
+            num_inputs,
+            num_latches,
+            gates,
+            nexts,
+            outputs,
+        }
     }
 
     fn build(plan: &CircuitPlan) -> AigerModel {
@@ -121,11 +128,12 @@ mod proptests {
         }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(128))]
-
-        #[test]
-        fn aiger_round_trip_preserves_behaviour(plan in arb_plan(), seed in any::<u64>()) {
+    #[test]
+    fn aiger_round_trip_preserves_behaviour() {
+        for case in 0..128u64 {
+            let mut rng = SplitMix64::seed_from_u64(0xa16e_0000 + case);
+            let plan = random_plan(&mut rng);
+            let seed = rng.next_u64();
             let model = build(&plan);
             for write_binary in [false, true] {
                 let mut data = Vec::new();
@@ -135,7 +143,7 @@ mod proptests {
                     write_aiger_ascii(&mut data, &model).expect("write");
                 }
                 let back = read_aiger(&data).expect("parse");
-                prop_assert_eq!(back.outputs.len(), model.outputs.len());
+                assert_eq!(back.outputs.len(), model.outputs.len(), "case {case}");
                 // Compare 8 steps of simulation on pseudo-random inputs.
                 let mut sa = Simulator::new(&model.aig);
                 let mut sb = Simulator::new(&back.aig);
@@ -152,27 +160,28 @@ mod proptests {
                     sa.eval(&model.aig, &inputs);
                     sb.eval(&back.aig, &inputs);
                     for (oa, ob) in model.outputs.iter().zip(&back.outputs) {
-                        prop_assert_eq!(sa.value(*oa), sb.value(*ob));
+                        assert_eq!(sa.value(*oa), sb.value(*ob), "case {case}");
                     }
                     sa.step(&model.aig, &inputs);
                     sb.step(&back.aig, &inputs);
                 }
             }
         }
+    }
 
-        #[test]
-        fn cnf_encoding_agrees_with_simulation(plan in arb_plan(), seed in any::<u64>()) {
-            use japrove_sat::{SolveResult, Solver};
+    #[test]
+    fn cnf_encoding_agrees_with_simulation() {
+        use japrove_sat::{SolveResult, Solver};
+        for case in 0..128u64 {
+            let mut rng = SplitMix64::seed_from_u64(0xc4f0_0000 + case);
+            let plan = random_plan(&mut rng);
+            let seed = rng.next_u64();
             let model = build(&plan);
             let aig = &model.aig;
             let mut enc = CnfEncoder::new();
             let input_vars: Vec<_> = aig.inputs().iter().map(|&n| enc.pin(n)).collect();
             let latch_vars: Vec<_> = aig.latches().iter().map(|l| enc.pin(l.node)).collect();
-            let out_lits: Vec<_> = model
-                .outputs
-                .iter()
-                .map(|&o| enc.lit_for(aig, o))
-                .collect();
+            let out_lits: Vec<_> = model.outputs.iter().map(|&o| enc.lit_for(aig, o)).collect();
             let cnf = enc.take_new_clauses();
             let mut solver = Solver::new();
             solver.ensure_vars(cnf.num_vars());
@@ -203,8 +212,11 @@ mod proptests {
                 let expect = sim.value(model.outputs[k]) & 1 == 1;
                 let mut q = assumptions.clone();
                 q.push(ol.apply_sign(expect));
-                prop_assert_eq!(solver.solve(&q), SolveResult::Unsat,
-                    "output {} disagreed with simulation", k);
+                assert_eq!(
+                    solver.solve(&q),
+                    SolveResult::Unsat,
+                    "case {case}: output {k} disagreed with simulation"
+                );
             }
         }
     }

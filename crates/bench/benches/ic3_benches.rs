@@ -79,5 +79,10 @@ fn bench_bmc_unroll(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ic3_prove, bench_ic3_deep_cex, bench_bmc_unroll);
+criterion_group!(
+    benches,
+    bench_ic3_prove,
+    bench_ic3_deep_cex,
+    bench_bmc_unroll
+);
 criterion_main!(benches);

@@ -15,7 +15,10 @@ fn failing_design() -> japrove_genbench::GeneratedDesign {
 }
 
 fn all_true_design() -> japrove_genbench::GeneratedDesign {
-    FamilyParams::new("bench_true", 31).chain(8, 8).ring(8, 8).generate()
+    FamilyParams::new("bench_true", 31)
+        .chain(8, 8)
+        .ring(8, 8)
+        .generate()
 }
 
 fn bench_ja_vs_joint(c: &mut Criterion) {

@@ -13,10 +13,10 @@ fn pigeonhole(n: usize) -> Solver {
     for row in &vars {
         s.add_clause(row.iter().map(|v| v.pos()));
     }
-    for hole in 0..n {
-        for a in 0..n + 1 {
-            for b in (a + 1)..n + 1 {
-                s.add_clause([vars[a][hole].neg(), vars[b][hole].neg()]);
+    for (a, row_a) in vars.iter().enumerate() {
+        for row_b in &vars[a + 1..] {
+            for (va, vb) in row_a.iter().zip(row_b) {
+                s.add_clause([va.neg(), vb.neg()]);
             }
         }
     }

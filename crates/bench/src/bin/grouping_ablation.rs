@@ -8,8 +8,7 @@
 
 use japrove_bench::{fmt_time, limits, Table};
 use japrove_core::{
-    cluster_properties, grouped_verify, ja_verify, GroupingOptions, JointOptions,
-    SeparateOptions,
+    cluster_properties, grouped_verify, ja_verify, GroupingOptions, JointOptions, SeparateOptions,
 };
 use japrove_genbench::{all_true_specs, failing_specs};
 use std::time::Instant;
@@ -34,7 +33,8 @@ fn main() {
     for spec in specs {
         let design = spec.generate();
         let sys = &design.sys;
-        let gopts = GroupingOptions::new().joint(JointOptions::new().total_timeout(limits::total()));
+        let gopts =
+            GroupingOptions::new().joint(JointOptions::new().total_timeout(limits::total()));
         let groups = cluster_properties(sys, &gopts);
 
         let t0 = Instant::now();

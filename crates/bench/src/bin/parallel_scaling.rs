@@ -36,6 +36,8 @@ fn main() {
         "(design: {} properties, {} latches; host exposes {} CPU(s) — speedup is bounded by that)",
         sys.num_properties(),
         sys.num_latches(),
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     );
 }

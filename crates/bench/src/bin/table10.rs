@@ -8,8 +8,8 @@
 //! the time — the basis of the parallel-verification argument.
 
 use japrove_bench::{fmt_time, Table};
-use japrove_core::{local_assumptions, ClauseDb, SeparateOptions};
 use japrove_core::Scope;
+use japrove_core::{local_assumptions, ClauseDb, SeparateOptions};
 use japrove_genbench::probe_spec;
 use japrove_tsys::PropertyId;
 
@@ -42,14 +42,8 @@ fn main() {
     let mut max_lf = 0usize;
     for &i in &sample {
         let id = PropertyId::new(i);
-        let global = japrove_core::check_one_property(
-            sys,
-            id,
-            &[],
-            &db,
-            &SeparateOptions::global(),
-            None,
-        );
+        let global =
+            japrove_core::check_one_property(sys, id, &[], &db, &SeparateOptions::global(), None);
         let local = japrove_core::check_one_property(
             sys,
             id,

@@ -145,10 +145,7 @@ fn jaccard(a: &[usize], b: &[usize]) -> f64 {
 /// let groups = cluster_properties(&sys, &GroupingOptions::new());
 /// assert_eq!(groups.len(), 2);
 /// ```
-pub fn cluster_properties(
-    sys: &TransitionSystem,
-    opts: &GroupingOptions,
-) -> Vec<Vec<PropertyId>> {
+pub fn cluster_properties(sys: &TransitionSystem, opts: &GroupingOptions) -> Vec<Vec<PropertyId>> {
     let supports = latch_supports(sys);
     let n = sys.num_properties();
     let mut assigned = vec![false; n];
@@ -236,8 +233,7 @@ mod tests {
     #[test]
     fn max_group_size_is_respected() {
         let sys = sys_with_shared_cones();
-        let groups =
-            cluster_properties(&sys, &GroupingOptions::new().max_group_size(1));
+        let groups = cluster_properties(&sys, &GroupingOptions::new().max_group_size(1));
         assert_eq!(groups.len(), 4);
     }
 

@@ -33,7 +33,8 @@ pub fn validate_debugging_set(
             continue;
         }
         let cex = result.counterexample().expect("failing result has a cex");
-        let r = replay(sys, &cex.trace).map_err(|e| format!("{}: replay failed: {e}", result.name))?;
+        let r =
+            replay(sys, &cex.trace).map_err(|e| format!("{}: replay failed: {e}", result.name))?;
         if !r.violates_finally(result.id) {
             return Err(format!(
                 "{}: final state does not falsify the property",

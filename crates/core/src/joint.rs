@@ -84,7 +84,10 @@ impl Default for JointOptions {
 
 /// Builds a copy of `sys` with one extra property: the conjunction of
 /// the given properties (the aggregate property `P = P1 & ... & Pk`).
-fn aggregate_system(sys: &TransitionSystem, props: &[PropertyId]) -> (TransitionSystem, PropertyId) {
+fn aggregate_system(
+    sys: &TransitionSystem,
+    props: &[PropertyId],
+) -> (TransitionSystem, PropertyId) {
     let mut agg = sys.clone();
     let goods: Vec<AigLit> = props.iter().map(|&p| agg.property(p).good).collect();
     let all = agg.aig_mut().and_many(goods);
@@ -149,7 +152,7 @@ pub fn joint_verify(sys: &TransitionSystem, opts: &JointOptions) -> MultiReport 
 
     while !remaining.is_empty() {
         let iteration_start = Instant::now();
-        if deadline.map_or(false, |d| Instant::now() >= d) {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
             for id in remaining.drain(..) {
                 push_result(
                     &mut report,
@@ -202,7 +205,13 @@ pub fn joint_verify(sys: &TransitionSystem, opts: &JointOptions) -> MultiReport 
             }
             CheckOutcome::Unknown(r) => {
                 for id in remaining.drain(..) {
-                    push_result(&mut report, id, CheckOutcome::Unknown(r), frames, iteration_start);
+                    push_result(
+                        &mut report,
+                        id,
+                        CheckOutcome::Unknown(r),
+                        frames,
+                        iteration_start,
+                    );
                 }
             }
             CheckOutcome::Falsified(cex) => {

@@ -61,7 +61,9 @@ pub use joint::{joint_verify, JointOptions};
 pub use parallel::parallel_ja_verify;
 pub use report::{MultiReport, PropertyResult, Scope};
 pub use reuse::ClauseDb;
-pub use separate::{check_one_property, ja_verify, local_assumptions, separate_verify, SeparateOptions};
+pub use separate::{
+    check_one_property, ja_verify, local_assumptions, separate_verify, SeparateOptions,
+};
 
 #[cfg(test)]
 mod tests {

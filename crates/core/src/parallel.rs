@@ -8,8 +8,8 @@
 //! what makes the parallelization embarrassing.
 
 use crate::separate::{check_one, local_assumptions};
-use crate::{MultiReport, Scope, SeparateOptions};
 use crate::ClauseDb;
+use crate::{MultiReport, Scope, SeparateOptions};
 use japrove_ic3::CheckOutcome;
 use japrove_tsys::{PropertyId, TransitionSystem};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -61,7 +61,7 @@ pub fn parallel_ja_verify(
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Option<crate::PropertyResult>> = vec![None; order.len()];
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for _ in 0..threads.min(order.len().max(1)) {
             let order = &order;
@@ -69,7 +69,7 @@ pub fn parallel_ja_verify(
             let next = &next;
             let db = db.clone();
             let opts = &opts;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut mine = Vec::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::SeqCst);
@@ -91,8 +91,7 @@ pub fn parallel_ja_verify(
                 slots[i] = Some(result);
             }
         }
-    })
-    .expect("thread scope");
+    });
 
     let mut report = MultiReport::new(sys.name(), format!("parallel-ja x{threads}"));
     report.results = slots

@@ -211,10 +211,23 @@ mod tests {
             depth: 0,
         };
         let mut rep = MultiReport::new("d", "ja");
-        rep.results.push(result(0, CheckOutcome::Proved(Certificate::default()), Scope::Local));
-        rep.results.push(result(1, CheckOutcome::Falsified(cex.clone()), Scope::Local));
-        rep.results.push(result(2, CheckOutcome::Unknown(UnknownReason::Budget), Scope::Local));
-        rep.results.push(result(3, CheckOutcome::Falsified(cex), Scope::Global));
+        rep.results.push(result(
+            0,
+            CheckOutcome::Proved(Certificate::default()),
+            Scope::Local,
+        ));
+        rep.results.push(result(
+            1,
+            CheckOutcome::Falsified(cex.clone()),
+            Scope::Local,
+        ));
+        rep.results.push(result(
+            2,
+            CheckOutcome::Unknown(UnknownReason::Budget),
+            Scope::Local,
+        ));
+        rep.results
+            .push(result(3, CheckOutcome::Falsified(cex), Scope::Global));
         assert_eq!(rep.num_true(), 1);
         assert_eq!(rep.num_false(), 2);
         assert_eq!(rep.num_unsolved(), 1);

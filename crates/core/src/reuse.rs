@@ -8,8 +8,7 @@
 //! exactly the soundness condition for seeding IC3 frames (§6-B).
 
 use japrove_logic::Clause;
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// A shared, thread-safe store of strengthening clauses.
 ///
@@ -39,10 +38,16 @@ impl ClauseDb {
         ClauseDb::default()
     }
 
+    /// Locks the store; a panic while holding the lock cannot corrupt
+    /// the clause vector, so poisoning is safely ignored.
+    fn lock(&self) -> MutexGuard<'_, Vec<Clause>> {
+        self.clauses.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Appends clauses, dropping duplicates and clauses subsumed by an
     /// existing entry. Returns how many were actually added.
     pub fn publish<I: IntoIterator<Item = Clause>>(&self, clauses: I) -> usize {
-        let mut store = self.clauses.lock();
+        let mut store = self.lock();
         let mut added = 0;
         for clause in clauses {
             let normalized = match clause.normalized() {
@@ -62,22 +67,22 @@ impl ClauseDb {
 
     /// A snapshot of the current clauses.
     pub fn snapshot(&self) -> Vec<Clause> {
-        self.clauses.lock().clone()
+        self.lock().clone()
     }
 
     /// Number of stored clauses.
     pub fn len(&self) -> usize {
-        self.clauses.lock().len()
+        self.lock().len()
     }
 
     /// `true` if the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.clauses.lock().is_empty()
+        self.lock().is_empty()
     }
 
     /// Clears the store.
     pub fn clear(&self) {
-        self.clauses.lock().clear();
+        self.lock().clear();
     }
 }
 

@@ -138,11 +138,12 @@ pub(crate) fn check_one(
     if let Some(d) = deadline {
         budget = budget.with_deadline(d);
     }
-    let imported = if opts.reuse { db.snapshot() } else { Vec::new() };
-    let base = opts
-        .ic3
-        .lifting(opts.lifting)
-        .budget(budget);
+    let imported = if opts.reuse {
+        db.snapshot()
+    } else {
+        Vec::new()
+    };
+    let base = opts.ic3.lifting(opts.lifting).budget(budget);
     let mut engine = Ic3::with_context(sys, id, base, assumed.to_vec(), imported.clone());
     let mut outcome = engine.run();
     let mut frames = engine.stats().frames;
@@ -156,14 +157,12 @@ pub(crate) fn check_one(
     if opts.scope == Scope::Local && opts.lifting == Lifting::Ignore {
         if let CheckOutcome::Falsified(cex) = &outcome {
             let r = replay(sys, &cex.trace).expect("engine traces replay");
-            let spurious = (0..cex.trace.len()).any(|k| {
-                r.violated_at(k).iter().any(|p| assumed.contains(p))
-            });
+            let spurious =
+                (0..cex.trace.len()).any(|k| r.violated_at(k).iter().any(|p| assumed.contains(p)));
             if spurious {
                 retried = true;
                 let strict = base.lifting(Lifting::Respect);
-                let mut engine =
-                    Ic3::with_context(sys, id, strict, assumed.to_vec(), imported);
+                let mut engine = Ic3::with_context(sys, id, strict, assumed.to_vec(), imported);
                 outcome = engine.run();
                 frames = engine.stats().frames;
             }
@@ -241,7 +240,7 @@ pub fn separate_verify(sys: &TransitionSystem, opts: &SeparateOptions) -> MultiR
     };
     let mut report = MultiReport::new(sys.name(), method);
     for id in order {
-        if deadline.map_or(false, |d| Instant::now() >= d) {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
             report.results.push(PropertyResult {
                 id,
                 name: sys.property(id).name.clone(),

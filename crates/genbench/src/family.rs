@@ -7,10 +7,8 @@
 //! JA-verification — see DESIGN.md §5 for the substitution argument.
 
 use japrove_aig::{Aig, AigLit};
+use japrove_rng::SplitMix64;
 use japrove_tsys::{PropertyId, TransitionSystem, Word};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 /// Ground truth for a generated property.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -192,10 +190,7 @@ impl GeneratedDesign {
 
     /// Number of properties expected to fail globally.
     pub fn expected_global_failures(&self) -> usize {
-        self.expected
-            .iter()
-            .filter(|e| !e.holds_globally())
-            .count()
+        self.expected.iter().filter(|e| !e.holds_globally()).count()
     }
 }
 
@@ -255,7 +250,11 @@ fn generate(params: &FamilyParams) -> GeneratedDesign {
         for i in 0..params.num_ring_props {
             let a = i % params.ring_size;
             let b = (i / params.ring_size + 1 + i) % params.ring_size;
-            let b = if a == b { (b + 1) % params.ring_size } else { b };
+            let b = if a == b {
+                (b + 1) % params.ring_size
+            } else {
+                b
+            };
             let both = aig.and(tokens[a], tokens[b]);
             pending.push(Pending::Prop {
                 name: format!("ring_excl_{a}_{b}"),
@@ -339,7 +338,11 @@ fn generate(params: &FamilyParams) -> GeneratedDesign {
     // Shadow groups: one guard plus its shadowed sinks.
     for (g, (guard_depth, extras)) in params.shadow_groups.iter().enumerate() {
         let gate = aig.add_input();
-        let c = gated_saturating_counter(&mut aig, width_for(guard_depth + extras.iter().copied().max().unwrap_or(0) + 2), gate);
+        let c = gated_saturating_counter(
+            &mut aig,
+            width_for(guard_depth + extras.iter().copied().max().unwrap_or(0) + 2),
+            gate,
+        );
         let guard_good = c.lt_const(&mut aig, *guard_depth);
         pending.push(Pending::Prop {
             name: format!("guard_{g}_d{guard_depth}"),
@@ -364,8 +367,8 @@ fn generate(params: &FamilyParams) -> GeneratedDesign {
     }
 
     // Interleave property kinds pseudo-randomly but reproducibly.
-    let mut rng = StdRng::seed_from_u64(params.seed);
-    pending.shuffle(&mut rng);
+    let mut rng = SplitMix64::seed_from_u64(params.seed);
+    rng.shuffle(&mut pending);
 
     let mut sys = TransitionSystem::new(params.name.clone(), aig);
     let mut expected = Vec::with_capacity(pending.len());
@@ -402,7 +405,9 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let params = FamilyParams::new("t", 42).easy_true(2).shallow_fails(vec![3]);
+        let params = FamilyParams::new("t", 42)
+            .easy_true(2)
+            .shallow_fails(vec![3]);
         let a = params.generate();
         let b = params.generate();
         let names_a: Vec<&str> = a.sys.properties().iter().map(|p| p.name.as_str()).collect();
@@ -466,11 +471,7 @@ mod tests {
         let aig = design.sys.aig();
         let mut sim = Simulator::new(aig);
         for _ in 0..12 {
-            let ones: u32 = sim
-                .state()
-                .iter()
-                .map(|&w| (w & 1) as u32)
-                .sum();
+            let ones: u32 = sim.state().iter().map(|&w| (w & 1) as u32).sum();
             assert_eq!(ones, 1);
             sim.step(aig, &vec![0; aig.num_inputs()]);
         }

@@ -31,7 +31,9 @@ pub fn many_props_specs() -> Vec<FamilyParams> {
             .easy_true(12)
             .ring(6, 8)
             .shadow_group(2, vec![2000]),
-        FamilyParams::new("syn_6s403", 403).chain(20, 5).easy_true(30),
+        FamilyParams::new("syn_6s403", 403)
+            .chain(20, 5)
+            .easy_true(30),
     ]
 }
 
@@ -53,7 +55,9 @@ pub fn failing_specs() -> Vec<FamilyParams> {
             .chain(6, 6)
             .easy_true(5)
             .shadow_group(2, vec![150, 200, 250, 300, 350, 400, 450, 500]),
-        FamilyParams::new("syn_6s175", 175).easy_true(1).shallow_fails(vec![2, 4]),
+        FamilyParams::new("syn_6s175", 175)
+            .easy_true(1)
+            .shallow_fails(vec![2, 4]),
         FamilyParams::new("syn_6s207", 207)
             .easy_true(10)
             .chain(4, 6)
@@ -80,14 +84,39 @@ pub fn failing_specs() -> Vec<FamilyParams> {
 /// Designs where every property is true (Tables IV, VI, VII, IX).
 pub fn all_true_specs() -> Vec<FamilyParams> {
     vec![
-        FamilyParams::new("syn_6s124", 124).chain(16, 8).easy_true(8).sinks(14, 24),
-        FamilyParams::new("syn_6s135", 135).ring(10, 20).easy_true(6).sinks(10, 18),
-        FamilyParams::new("syn_6s139", 139).chain(12, 12).ring(8, 6).sinks(16, 28),
-        FamilyParams::new("syn_6s256", 256).chain(2, 10).easy_true(1),
-        FamilyParams::new("syn_bob12m09", 1209).ring(8, 10).easy_true(8).chain(4, 6).sinks(8, 12),
-        FamilyParams::new("syn_6s407", 407).chain(14, 8).easy_true(12).ring(6, 6).sinks(18, 30),
-        FamilyParams::new("syn_6s273", 273).easy_true(10).chain(4, 5),
-        FamilyParams::new("syn_6s275", 275).ring(12, 24).easy_true(12).chain(6, 6).sinks(12, 20),
+        FamilyParams::new("syn_6s124", 124)
+            .chain(16, 8)
+            .easy_true(8)
+            .sinks(14, 24),
+        FamilyParams::new("syn_6s135", 135)
+            .ring(10, 20)
+            .easy_true(6)
+            .sinks(10, 18),
+        FamilyParams::new("syn_6s139", 139)
+            .chain(12, 12)
+            .ring(8, 6)
+            .sinks(16, 28),
+        FamilyParams::new("syn_6s256", 256)
+            .chain(2, 10)
+            .easy_true(1),
+        FamilyParams::new("syn_bob12m09", 1209)
+            .ring(8, 10)
+            .easy_true(8)
+            .chain(4, 6)
+            .sinks(8, 12),
+        FamilyParams::new("syn_6s407", 407)
+            .chain(14, 8)
+            .easy_true(12)
+            .ring(6, 6)
+            .sinks(18, 30),
+        FamilyParams::new("syn_6s273", 273)
+            .easy_true(10)
+            .chain(4, 5),
+        FamilyParams::new("syn_6s275", 275)
+            .ring(12, 24)
+            .easy_true(12)
+            .chain(6, 6)
+            .sinks(12, 20),
     ]
 }
 
@@ -96,7 +125,9 @@ pub fn all_true_specs() -> Vec<FamilyParams> {
 /// global proofs need several frames but local proofs converge
 /// immediately.
 pub fn probe_spec() -> FamilyParams {
-    FamilyParams::new("syn_6s289_probe", 2890).chain(40, 10).easy_true(10)
+    FamilyParams::new("syn_6s289_probe", 2890)
+        .chain(40, 10)
+        .easy_true(10)
 }
 
 /// A heavier all-true design for the parallel-scaling experiment of
@@ -117,7 +148,12 @@ mod tests {
     fn specs_generate_consistent_designs() {
         for spec in failing_specs().into_iter().chain(all_true_specs()) {
             let d = spec.generate();
-            assert_eq!(d.sys.num_properties(), spec.num_properties(), "{}", spec.name);
+            assert_eq!(
+                d.sys.num_properties(),
+                spec.num_properties(),
+                "{}",
+                spec.name
+            );
             assert!(d.sys.num_properties() > 0);
         }
     }

@@ -229,7 +229,11 @@ impl<'a> Bmc<'a> {
         props
             .iter()
             .copied()
-            .filter(|p| self.solver.model_value(self.good_lits[k][p.index()]).is_false())
+            .filter(|p| {
+                self.solver
+                    .model_value(self.good_lits[k][p.index()])
+                    .is_false()
+            })
             .collect()
     }
 }

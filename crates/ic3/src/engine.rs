@@ -168,18 +168,16 @@ impl<'a> Ic3<'a> {
                 }
                 match self.bad_state_at(k) {
                     None => break,
-                    Some((state, inputs)) => {
-                        match self.block(state, inputs, k) {
-                            BlockOutcome::Blocked => {}
-                            BlockOutcome::OutOfBudget => {
-                                return CheckOutcome::Unknown(UnknownReason::Budget)
-                            }
-                            BlockOutcome::Cex(idx) => {
-                                let cex = self.materialize_cex(idx);
-                                return CheckOutcome::Falsified(cex);
-                            }
+                    Some((state, inputs)) => match self.block(state, inputs, k) {
+                        BlockOutcome::Blocked => {}
+                        BlockOutcome::OutOfBudget => {
+                            return CheckOutcome::Unknown(UnknownReason::Budget)
                         }
-                    }
+                        BlockOutcome::Cex(idx) => {
+                            let cex = self.materialize_cex(idx);
+                            return CheckOutcome::Falsified(cex);
+                        }
+                    },
                 }
             }
             if k >= self.opts.max_frames {
@@ -388,12 +386,7 @@ impl<'a> Ic3<'a> {
 
     /// Lifts a concrete state to a cube of states that all reach the
     /// target (the successor cube, or the bad states) under `inputs`.
-    fn lift_state(
-        &mut self,
-        state: &[bool],
-        inputs: &[bool],
-        target: Option<&Cube>,
-    ) -> Cube {
+    fn lift_state(&mut self, state: &[bool], inputs: &[bool], target: Option<&Cube>) -> Cube {
         self.stats.queries += 1;
         self.lift.set_budget(self.opts.budget);
         let t = self.lift.new_var();
@@ -447,9 +440,12 @@ impl<'a> Ic3<'a> {
         self.lift_temp += 1;
         // Keep obligation cubes disjoint from the initial state.
         if self.enc.cube_intersects_init(&cube) {
-            let full = Cube::from_lits(state.iter().enumerate().map(|(i, &b)| {
-                self.enc.state_var(i).lit(!b)
-            }));
+            let full = Cube::from_lits(
+                state
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &b)| self.enc.state_var(i).lit(!b)),
+            );
             self.restore_init_exclusion(cube, &full)
         } else {
             cube

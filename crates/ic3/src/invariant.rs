@@ -34,7 +34,10 @@ impl fmt::Display for CertificateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CertificateError::InitViolated { clause } => {
-                write!(f, "certificate clause {clause} is violated by the initial state")
+                write!(
+                    f,
+                    "certificate clause {clause} is violated by the initial state"
+                )
             }
             CertificateError::NotInductive { clause } => {
                 write!(f, "certificate clause {clause} is not inductive")

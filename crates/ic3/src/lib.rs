@@ -182,7 +182,11 @@ mod tests {
         // The local proof needs very few frames independent of the
         // counter width (Table I's point): far fewer than the 2^7 + 1
         // steps a global counterexample would have to traverse.
-        assert!(engine.stats().frames <= 10, "frames = {}", engine.stats().frames);
+        assert!(
+            engine.stats().frames <= 10,
+            "frames = {}",
+            engine.stats().frames
+        );
     }
 
     #[test]
@@ -238,8 +242,14 @@ mod tests {
         );
         let weaker = c.lt_const(aig, 14);
         let q = sys2.add_property("lt14", weaker);
-        let outcome2 =
-            Ic3::with_context(&sys2, q, Ic3Options::new(), Vec::new(), cert.clauses.clone()).run();
+        let outcome2 = Ic3::with_context(
+            &sys2,
+            q,
+            Ic3Options::new(),
+            Vec::new(),
+            cert.clauses.clone(),
+        )
+        .run();
         let cert2 = outcome2.certificate().expect("proved with imports");
         assert!(verify_certificate(&sys2, q, &[], cert2).is_ok());
     }
@@ -247,8 +257,12 @@ mod tests {
     #[test]
     fn frame_limit_reports_unknown() {
         let (sys, p) = counter(6, 50);
-        let outcome =
-            Ic3::new(&sys, p, Ic3Options::new().max_frames(2).push_obligations(false)).run();
+        let outcome = Ic3::new(
+            &sys,
+            p,
+            Ic3Options::new().max_frames(2).push_obligations(false),
+        )
+        .run();
         assert!(outcome.is_unknown() || outcome.is_falsified());
     }
 

@@ -12,11 +12,12 @@
 
 use japrove_aig::{Aig, AigLit};
 use japrove_ic3::{verify_certificate, Bmc, BmcResult, CheckOutcome, Ic3, Ic3Options, Lifting};
+use japrove_rng::SplitMix64;
 use japrove_sat::Budget;
 use japrove_tsys::{replay, PropertyId, TransitionSystem};
-use proptest::prelude::*;
 
 const BMC_DEPTH: usize = 20;
+const CASES: u64 = 48;
 
 #[derive(Debug, Clone)]
 struct Plan {
@@ -27,26 +28,35 @@ struct Plan {
     props: Vec<(usize, bool)>,
 }
 
-fn arb_plan() -> impl Strategy<Value = Plan> {
-    (1usize..3, proptest::collection::vec(any::<bool>(), 1..5), 1usize..14)
-        .prop_flat_map(|(ni, latches, ng)| {
-            let nl = latches.len();
-            let pool0 = 1 + ni + nl;
-            let gates = proptest::collection::vec(
-                (0u8..3, 0usize..pool0 + 16, 0usize..pool0 + 16, any::<bool>(), any::<bool>()),
-                ng,
-            );
-            let nexts = proptest::collection::vec((0usize..pool0 + 16, any::<bool>()), nl);
-            let props = proptest::collection::vec((0usize..pool0 + 16, any::<bool>()), 1..4);
-            (Just(ni), Just(latches), gates, nexts, props)
+fn random_plan(rng: &mut SplitMix64) -> Plan {
+    let num_inputs = rng.gen_index(1, 3);
+    let latches: Vec<bool> = (0..rng.gen_index(1, 5)).map(|_| rng.gen_bool()).collect();
+    let ng = rng.gen_index(1, 14);
+    let pool0 = 1 + num_inputs + latches.len();
+    let gates = (0..ng)
+        .map(|_| {
+            (
+                rng.gen_range(0, 3) as u8,
+                rng.gen_index(0, pool0 + 16),
+                rng.gen_index(0, pool0 + 16),
+                rng.gen_bool(),
+                rng.gen_bool(),
+            )
         })
-        .prop_map(|(num_inputs, latches, gates, nexts, props)| Plan {
-            num_inputs,
-            latches,
-            gates,
-            nexts,
-            props,
-        })
+        .collect();
+    let nexts = (0..latches.len())
+        .map(|_| (rng.gen_index(0, pool0 + 16), rng.gen_bool()))
+        .collect();
+    let props = (0..rng.gen_index(1, 4))
+        .map(|_| (rng.gen_index(0, pool0 + 16), rng.gen_bool()))
+        .collect();
+    Plan {
+        num_inputs,
+        latches,
+        gates,
+        nexts,
+        props,
+    }
 }
 
 fn inv(l: AigLit, yes: bool) -> AigLit {
@@ -85,65 +95,78 @@ fn build(plan: &Plan) -> TransitionSystem {
     sys
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn ic3_and_bmc_agree(plan in arb_plan()) {
-        let sys = build(&plan);
+#[test]
+fn ic3_and_bmc_agree() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(0x1c3b_0000 + case);
+        let sys = build(&random_plan(&mut rng));
         for p in sys.property_ids() {
             let outcome = Ic3::new(&sys, p, Ic3Options::new().max_frames(64)).run();
             let mut bmc = Bmc::new(&sys);
             let bmc_res = bmc.run(&[p], BMC_DEPTH, Budget::unlimited());
             match (&outcome, &bmc_res) {
                 (CheckOutcome::Falsified(cex), BmcResult::Cex { cex: b, .. }) => {
-                    prop_assert_eq!(cex.depth, b.depth, "cex depth mismatch");
+                    assert_eq!(cex.depth, b.depth, "case {case}: cex depth mismatch");
                     let r = replay(&sys, &cex.trace).expect("replayable");
-                    prop_assert!(r.violates_finally(p));
-                    prop_assert_eq!(r.first_violation(p), Some(cex.depth),
-                        "ic3 cex not minimal for its own property");
+                    assert!(r.violates_finally(p), "case {case}");
+                    assert_eq!(
+                        r.first_violation(p),
+                        Some(cex.depth),
+                        "case {case}: ic3 cex not minimal for its own property"
+                    );
                 }
                 (CheckOutcome::Proved(cert), BmcResult::NoCexUpTo(_)) => {
-                    prop_assert!(verify_certificate(&sys, p, &[], cert).is_ok(),
-                        "certificate rejected");
+                    assert!(
+                        verify_certificate(&sys, p, &[], cert).is_ok(),
+                        "case {case}: certificate rejected"
+                    );
                 }
-                (a, b) => prop_assert!(false, "verdict mismatch: ic3={a:?} bmc={b:?}"),
+                (a, b) => panic!("case {case}: verdict mismatch: ic3={a:?} bmc={b:?}"),
             }
         }
     }
+}
 
-    #[test]
-    fn local_proofs_respect_the_lattice(plan in arb_plan()) {
-        let sys = build(&plan);
+#[test]
+fn local_proofs_respect_the_lattice() {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::seed_from_u64(0x7a77_0000 + case);
+        let sys = build(&random_plan(&mut rng));
         let assumed: Vec<PropertyId> = sys.property_ids().collect();
         for p in sys.property_ids() {
             let global = Ic3::new(&sys, p, Ic3Options::new().max_frames(64)).run();
             for lifting in [Lifting::Ignore, Lifting::Respect] {
                 let opts = Ic3Options::new().max_frames(64).lifting(lifting);
-                let local =
-                    Ic3::with_context(&sys, p, opts, assumed.clone(), Vec::new()).run();
+                let local = Ic3::with_context(&sys, p, opts, assumed.clone(), Vec::new()).run();
                 // Prop. 2: holds globally => holds locally.
                 if global.is_proved() {
-                    prop_assert!(local.is_proved(),
-                        "{lifting:?}: property holds globally but failed locally");
+                    assert!(
+                        local.is_proved(),
+                        "case {case}, {lifting:?}: property holds globally but failed locally"
+                    );
                 }
                 // Local failure witnesses must be genuine traces whose
                 // final state violates the property.
                 if let CheckOutcome::Falsified(cex) = &local {
                     let r = replay(&sys, &cex.trace).expect("replayable");
-                    prop_assert!(r.violates_finally(p));
+                    assert!(r.violates_finally(p), "case {case}");
                     // In respect mode, no assumed property may be
                     // violated before the final state.
                     if lifting == Lifting::Respect {
                         for k in 0..cex.trace.len() {
-                            prop_assert!(r.violated_at(k).is_empty(),
-                                "respect-mode cex violates an assumption at step {k}");
+                            assert!(
+                                r.violated_at(k).is_empty(),
+                                "case {case}: respect-mode cex violates an assumption at step {k}"
+                            );
                         }
                     }
                 }
                 // Local certificates verify under the assumptions.
                 if let CheckOutcome::Proved(cert) = &local {
-                    prop_assert!(verify_certificate(&sys, p, &assumed, cert).is_ok());
+                    assert!(
+                        verify_certificate(&sys, p, &assumed, cert).is_ok(),
+                        "case {case}"
+                    );
                 }
             }
         }

@@ -213,10 +213,10 @@ impl Assignment {
 
     /// Iterates over the assigned literals (skips undefined variables).
     pub fn assigned_lits(&self) -> impl Iterator<Item = Lit> + '_ {
-        self.values.iter().enumerate().filter_map(|(i, v)| {
-            v.to_bool()
-                .map(|b| Var::new(i as u32).lit(!b))
-        })
+        self.values
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.to_bool().map(|b| Var::new(i as u32).lit(!b)))
     }
 }
 

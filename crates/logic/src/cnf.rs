@@ -141,7 +141,12 @@ impl<'a> IntoIterator for &'a Cnf {
 
 impl fmt::Debug for Cnf {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Cnf({} vars, {} clauses)", self.num_vars, self.clauses.len())?;
+        writeln!(
+            f,
+            "Cnf({} vars, {} clauses)",
+            self.num_vars,
+            self.clauses.len()
+        )?;
         for c in &self.clauses {
             writeln!(f, "  {c:?}")?;
         }
@@ -178,12 +183,9 @@ mod tests {
     fn evaluation_three_valued() {
         let x = Var::new(0);
         let y = Var::new(1);
-        let cnf: Cnf = [
-            Clause::from_lits([x.pos(), y.pos()]),
-            Clause::unit(y.neg()),
-        ]
-        .into_iter()
-        .collect();
+        let cnf: Cnf = [Clause::from_lits([x.pos(), y.pos()]), Clause::unit(y.neg())]
+            .into_iter()
+            .collect();
         let mut a = Assignment::new(2);
         assert!(cnf.eval(&a).is_undef());
         a.assign(y, false);

@@ -46,6 +46,9 @@ impl Var {
     }
 
     /// Returns the negative literal of this variable.
+    // `v.neg()` pairs with `v.pos()` (the MiniSat idiom); `Neg` cannot
+    // be implemented instead because the output type differs from Self.
+    #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn neg(self) -> Lit {
         Lit::new(self, true)

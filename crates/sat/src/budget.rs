@@ -67,7 +67,7 @@ impl Budget {
     /// Engines embedding the solver use this for their own outer loops;
     /// the conflict allowance is tracked inside the solver.
     pub fn deadline_passed(&self) -> bool {
-        self.deadline.map_or(false, |d| Instant::now() >= d)
+        self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
     /// Re-arms the conflict limit relative to the current counter.

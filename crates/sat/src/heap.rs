@@ -28,7 +28,7 @@ impl VarOrder {
     pub fn contains(&self, var: Var) -> bool {
         self.position
             .get(var.index() as usize)
-            .map_or(false, |&p| p != NONE)
+            .is_some_and(|&p| p != NONE)
     }
 
     /// Inserts `var`; no-op if already present.
@@ -93,13 +93,12 @@ impl VarOrder {
                 break;
             }
             let right = left + 1;
-            let child = if right < len
-                && act[self.heap[right] as usize] > act[self.heap[left] as usize]
-            {
-                right
-            } else {
-                left
-            };
+            let child =
+                if right < len && act[self.heap[right] as usize] > act[self.heap[left] as usize] {
+                    right
+                } else {
+                    left
+                };
             let cv = self.heap[child];
             if act[cv as usize] <= act[v as usize] {
                 break;

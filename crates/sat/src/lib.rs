@@ -41,10 +41,10 @@ pub use solver::{SolveResult, Solver};
 pub use stats::SolverStats;
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
     use super::*;
     use japrove_logic::{Clause, Cnf, Lit, Var};
-    use proptest::prelude::*;
+    use japrove_rng::SplitMix64;
 
     /// Brute-force satisfiability over up to 2^n assignments.
     fn brute_force_sat(cnf: &Cnf) -> bool {
@@ -65,21 +65,28 @@ mod proptests {
         false
     }
 
-    fn arb_cnf(max_vars: u32, max_clauses: usize) -> impl Strategy<Value = Cnf> {
-        let lit = (0..max_vars, any::<bool>()).prop_map(|(v, neg)| Var::new(v).lit(neg));
-        let clause = proptest::collection::vec(lit, 1..=4).prop_map(Clause::from_lits);
-        proptest::collection::vec(clause, 1..=max_clauses).prop_map(move |cs| {
-            let mut cnf = Cnf::with_vars(max_vars);
-            cnf.extend(cs);
-            cnf
-        })
+    /// A random CNF over `max_vars` variables with 1..=`max_clauses`
+    /// clauses of 1..=4 literals each.
+    fn random_cnf(rng: &mut SplitMix64, max_vars: u32, max_clauses: usize) -> Cnf {
+        let num_clauses = rng.gen_index(1, max_clauses + 1);
+        let clauses: Vec<Clause> = (0..num_clauses)
+            .map(|_| {
+                let len = rng.gen_index(1, 5);
+                Clause::from_lits((0..len).map(|_| {
+                    Var::new(rng.gen_range(0, u64::from(max_vars)) as u32).lit(rng.gen_bool())
+                }))
+            })
+            .collect();
+        let mut cnf = Cnf::with_vars(max_vars);
+        cnf.extend(clauses);
+        cnf
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(256))]
-
-        #[test]
-        fn solver_agrees_with_brute_force(cnf in arb_cnf(8, 24)) {
+    #[test]
+    fn solver_agrees_with_brute_force() {
+        for case in 0..256u64 {
+            let mut rng = SplitMix64::seed_from_u64(0xb1ce_0000 + case);
+            let cnf = random_cnf(&mut rng, 8, 24);
             let mut s = Solver::new();
             s.ensure_vars(cnf.num_vars());
             for c in cnf.clauses() {
@@ -87,36 +94,35 @@ mod proptests {
             }
             let result = s.solve(&[]);
             let expected = brute_force_sat(&cnf);
-            prop_assert_eq!(result == SolveResult::Sat, expected);
+            assert_eq!(result == SolveResult::Sat, expected, "case {case}");
             if !expected {
-                prop_assert_eq!(result, SolveResult::Unsat);
+                assert_eq!(result, SolveResult::Unsat, "case {case}");
             }
             if result == SolveResult::Sat {
                 // Model must actually satisfy the formula.
                 for c in cnf.clauses() {
                     let ok = c.lits().iter().any(|&l| !s.model_value(l).is_false());
-                    prop_assert!(ok, "model falsifies clause {:?}", c);
+                    assert!(ok, "case {case}: model falsifies clause {c:?}");
                 }
             }
         }
+    }
 
-        #[test]
-        fn unsat_core_is_sound(cnf in arb_cnf(8, 16),
-                               assumed in proptest::collection::vec((0u32..8, any::<bool>()), 1..6)) {
+    #[test]
+    fn unsat_core_is_sound() {
+        for case in 0..256u64 {
+            let mut rng = SplitMix64::seed_from_u64(0xc04e_0000 + case);
+            let cnf = random_cnf(&mut rng, 8, 16);
             let mut s = Solver::new();
             s.ensure_vars(cnf.num_vars().max(8));
             for c in cnf.clauses() {
                 s.add_clause(c.lits().iter().copied());
             }
-            let mut assumptions: Vec<Lit> = assumed
-                .into_iter()
-                .map(|(v, neg)| Var::new(v).lit(neg))
-                .collect();
-            assumptions.sort_unstable();
-            assumptions.dedup();
-            // Drop contradictory assumption pairs to keep the query meaningful.
+            // Random assumptions, one literal per variable at most so
+            // the query stays meaningful.
             let mut clean: Vec<Lit> = Vec::new();
-            for l in assumptions {
+            for _ in 0..rng.gen_index(1, 6) {
+                let l = Var::new(rng.gen_range(0, 8) as u32).lit(rng.gen_bool());
                 if !clean.iter().any(|&c| c.var() == l.var()) {
                     clean.push(l);
                 }
@@ -124,15 +130,19 @@ mod proptests {
             if s.solve(&clean) == SolveResult::Unsat {
                 let core = s.unsat_core().to_vec();
                 for l in &core {
-                    prop_assert!(clean.contains(l));
+                    assert!(clean.contains(l), "case {case}");
                 }
                 // Solving just the core must still be unsat.
-                prop_assert_eq!(s.solve(&core), SolveResult::Unsat);
+                assert_eq!(s.solve(&core), SolveResult::Unsat, "case {case}");
             }
         }
+    }
 
-        #[test]
-        fn incremental_equals_from_scratch(cnf in arb_cnf(8, 20)) {
+    #[test]
+    fn incremental_equals_from_scratch() {
+        for case in 0..256u64 {
+            let mut rng = SplitMix64::seed_from_u64(0x14c0_0000 + case);
+            let cnf = random_cnf(&mut rng, 8, 20);
             // Add clauses one at a time with a solve call in between;
             // the final verdict must match a fresh solver.
             let mut inc = Solver::new();
@@ -148,7 +158,7 @@ mod proptests {
             for c in cnf.clauses() {
                 fresh.add_clause(c.lits().iter().copied());
             }
-            prop_assert_eq!(final_inc, fresh.solve(&[]));
+            assert_eq!(final_inc, fresh.solve(&[]), "case {case}");
         }
     }
 }

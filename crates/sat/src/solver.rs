@@ -298,12 +298,10 @@ impl Solver {
         self.cancel_until(0);
         let refs: Vec<ClauseRef> = self.store.refs().collect();
         for cref in refs {
-            let satisfied = self
-                .store
-                .get(cref)
-                .lits
-                .iter()
-                .any(|&l| self.lit_value(l).is_true() && self.level[l.var().index() as usize] == 0);
+            let satisfied =
+                self.store.get(cref).lits.iter().any(|&l| {
+                    self.lit_value(l).is_true() && self.level[l.var().index() as usize] == 0
+                });
             if satisfied && !self.locked(cref) {
                 self.detach(cref);
                 self.store.remove(cref);
@@ -625,9 +623,11 @@ impl Solver {
         // Remove the worse half: high LBD first, then low activity.
         learnts.sort_by(|&a, &b| {
             let (da, db) = (self.store.get(a), self.store.get(b));
-            db.lbd
-                .cmp(&da.lbd)
-                .then(da.activity.partial_cmp(&db.activity).unwrap_or(std::cmp::Ordering::Equal))
+            db.lbd.cmp(&da.lbd).then(
+                da.activity
+                    .partial_cmp(&db.activity)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         });
         let to_remove = learnts.len() / 2;
         for &cref in learnts.iter().take(to_remove) {
@@ -647,7 +647,12 @@ impl Solver {
         levels.len() as u32
     }
 
-    fn search(&mut self, assumptions: &[Lit], conflict_limit: u64, budget: &Budget) -> SearchOutcome {
+    fn search(
+        &mut self,
+        assumptions: &[Lit],
+        conflict_limit: u64,
+        budget: &Budget,
+    ) -> SearchOutcome {
         let mut conflicts_here: u64 = 0;
         loop {
             if let Some(conflict) = self.propagate() {
@@ -821,10 +826,10 @@ mod tests {
         for row in &p {
             s.add_clause(row.iter().map(|v| v.pos()));
         }
-        for hole in 0..2 {
-            for a in 0..3 {
-                for b in (a + 1)..3 {
-                    s.add_clause([p[a][hole].neg(), p[b][hole].neg()]);
+        for (a, row_a) in p.iter().enumerate() {
+            for row_b in &p[a + 1..] {
+                for (va, vb) in row_a.iter().zip(row_b) {
+                    s.add_clause([va.neg(), vb.neg()]);
                 }
             }
         }
@@ -842,7 +847,10 @@ mod tests {
         let core = s.unsat_core().to_vec();
         assert!(!core.is_empty());
         for l in &core {
-            assert!(assumptions.contains(l), "core literal {l:?} not an assumption");
+            assert!(
+                assumptions.contains(l),
+                "core literal {l:?} not an assumption"
+            );
         }
         // The core itself must be unsat.
         assert_eq!(s.solve(&core), SolveResult::Unsat);
@@ -884,10 +892,10 @@ mod tests {
         for row in &p {
             s.add_clause(row.iter().map(|v| v.pos()));
         }
-        for hole in 0..n {
-            for a in 0..n + 1 {
-                for b in (a + 1)..n + 1 {
-                    s.add_clause([p[a][hole].neg(), p[b][hole].neg()]);
+        for (a, row_a) in p.iter().enumerate() {
+            for row_b in &p[a + 1..] {
+                for (va, vb) in row_a.iter().zip(row_b) {
+                    s.add_clause([va.neg(), vb.neg()]);
                 }
             }
         }

@@ -210,7 +210,7 @@ mod tests {
         w.bits()
             .iter()
             .enumerate()
-            .map(|(i, &b)| ((sim.value(b) & 1) as u64) << i)
+            .map(|(i, &b)| (sim.value(b) & 1) << i)
             .sum()
     }
 

@@ -85,9 +85,7 @@ impl Replay {
 
     /// `true` if `prop` is violated in the final state.
     pub fn violates_finally(&self, prop: PropertyId) -> bool {
-        self.violations
-            .last()
-            .map_or(false, |v| v.contains(&prop))
+        self.violations.last().is_some_and(|v| v.contains(&prop))
     }
 
     /// `true` if some property *other than* `prop` is violated strictly
@@ -209,7 +207,12 @@ pub fn complete_trace(sys: &TransitionSystem, inputs: Vec<Vec<bool>>) -> Trace {
     let mut states = Vec::with_capacity(inputs.len());
     for (k, inp) in inputs.iter().enumerate() {
         assert_eq!(inp.len(), aig.num_inputs(), "input width mismatch");
-        states.push(sim.state().iter().map(|&w| w & 1 == 1).collect::<Vec<bool>>());
+        states.push(
+            sim.state()
+                .iter()
+                .map(|&w| w & 1 == 1)
+                .collect::<Vec<bool>>(),
+        );
         if k + 1 < inputs.len() {
             let words: Vec<u64> = inp.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
             sim.step(aig, &words);

@@ -114,16 +114,17 @@ pub fn parse_witness<R: BufRead>(
     let init_line = lines
         .next()
         .ok_or_else(|| ParseWitnessError::Malformed("missing initial state".into()))?;
-    let parse_bits = |line: &str, expect: usize, what: &str| -> Result<Vec<bool>, ParseWitnessError> {
-        let bits: Vec<bool> = line.trim().chars().map(|c| c == '1').collect();
-        if bits.len() != expect {
-            return Err(ParseWitnessError::Malformed(format!(
-                "{what} has {} bits, expected {expect}",
-                bits.len()
-            )));
-        }
-        Ok(bits)
-    };
+    let parse_bits =
+        |line: &str, expect: usize, what: &str| -> Result<Vec<bool>, ParseWitnessError> {
+            let bits: Vec<bool> = line.trim().chars().map(|c| c == '1').collect();
+            if bits.len() != expect {
+                return Err(ParseWitnessError::Malformed(format!(
+                    "{what} has {} bits, expected {expect}",
+                    bits.len()
+                )));
+            }
+            Ok(bits)
+        };
     let init = parse_bits(&init_line, sys.num_latches(), "initial state")?;
     let mut inputs = Vec::new();
     for line in lines {

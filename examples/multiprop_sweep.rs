@@ -9,9 +9,7 @@
 //! cargo run --release --example multiprop_sweep
 //! ```
 
-use japrove::core::{
-    ja_verify, joint_verify, separate_verify, JointOptions, SeparateOptions,
-};
+use japrove::core::{ja_verify, joint_verify, separate_verify, JointOptions, SeparateOptions};
 use japrove::genbench::FamilyParams;
 use std::time::{Duration, Instant};
 
@@ -38,7 +36,10 @@ fn main() {
     );
 
     let t0 = Instant::now();
-    let joint = joint_verify(sys, &JointOptions::new().total_timeout(Duration::from_secs(60)));
+    let joint = joint_verify(
+        sys,
+        &JointOptions::new().total_timeout(Duration::from_secs(60)),
+    );
     println!(
         "joint verification:    {:>8.3}s  {} false, {} true, {} unsolved",
         t0.elapsed().as_secs_f64(),

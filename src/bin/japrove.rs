@@ -77,7 +77,9 @@ fn parse_args() -> Result<Cli, String> {
             "--threads" => {
                 cli.threads = value("--threads")?
                     .parse()
-                    .map_err(|_| "invalid --threads".to_string())?
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| "invalid --threads (need an integer >= 1)".to_string())?
             }
             "--per-property" => {
                 let secs: f64 = value("--per-property")?
@@ -99,9 +101,7 @@ fn parse_args() -> Result<Cli, String> {
                 }
             }
             "--witness-dir" => cli.witness_dir = Some(value("--witness-dir")?),
-            other if other.starts_with('-') => {
-                return Err(format!("unknown option '{other}'"))
-            }
+            other if other.starts_with('-') => return Err(format!("unknown option '{other}'")),
             path => {
                 if !cli.path.is_empty() {
                     return Err("more than one design file given".into());
@@ -129,7 +129,9 @@ fn run(cli: &Cli) -> Result<(MultiReport, TransitionSystem), String> {
         .to_string();
     let sys = TransitionSystem::from_aiger(name, model);
 
-    let mut sep = SeparateOptions::local().lifting(cli.lifting).reuse(cli.reuse);
+    let mut sep = SeparateOptions::local()
+        .lifting(cli.lifting)
+        .reuse(cli.reuse);
     if let Some(d) = cli.per_property {
         sep = sep.per_property_timeout(d);
     }

@@ -14,7 +14,11 @@ fn random_designs() -> Vec<japrove::genbench::GeneratedDesign> {
             FamilyParams::new(format!("rnd{seed}"), seed)
                 .easy_true(1 + (seed as usize % 3))
                 .chain(1 + (seed as usize % 3), 4 + seed % 5)
-                .shallow_fails(if seed % 2 == 0 { vec![2 + seed % 4] } else { vec![] })
+                .shallow_fails(if seed % 2 == 0 {
+                    vec![2 + seed % 4]
+                } else {
+                    vec![]
+                })
                 .shadow_group(2, vec![6 + seed % 7])
                 .generate()
         })
@@ -32,7 +36,8 @@ fn ic3_agrees_with_bmc_on_every_property() {
             match (&ic3_outcome, &bmc_outcome) {
                 (CheckOutcome::Falsified(cex), BmcResult::Cex { cex: bcex, .. }) => {
                     assert_eq!(
-                        cex.depth, bcex.depth,
+                        cex.depth,
+                        bcex.depth,
                         "{}/{}: IC3 and BMC disagree on CEX depth",
                         sys.name(),
                         sys.property(p).name
@@ -40,7 +45,11 @@ fn ic3_agrees_with_bmc_on_every_property() {
                 }
                 (CheckOutcome::Proved(cert), BmcResult::NoCexUpTo(24)) => {
                     verify_certificate(sys, p, &[], cert).unwrap_or_else(|e| {
-                        panic!("{}/{}: bad certificate: {e}", sys.name(), sys.property(p).name)
+                        panic!(
+                            "{}/{}: bad certificate: {e}",
+                            sys.name(),
+                            sys.property(p).name
+                        )
                     });
                 }
                 (a, b) => panic!(
@@ -61,8 +70,7 @@ fn every_counterexample_replays() {
             let report = separate_verify(sys, &opts);
             for r in &report.results {
                 if let Some(cex) = r.counterexample() {
-                    let rp = replay(sys, &cex.trace)
-                        .unwrap_or_else(|e| panic!("{}: {e}", r.name));
+                    let rp = replay(sys, &cex.trace).unwrap_or_else(|e| panic!("{}: {e}", r.name));
                     assert!(
                         rp.violates_finally(r.id),
                         "{}: final state does not violate the property",

@@ -2,8 +2,8 @@
 //! designs with independent SAT queries and concrete simulation.
 
 use japrove::core::{
-    check_local_global_agreement, ja_verify, joint_verify, local_assumptions,
-    separate_verify, validate_debugging_set, JointOptions, SeparateOptions,
+    check_local_global_agreement, ja_verify, joint_verify, local_assumptions, separate_verify,
+    validate_debugging_set, JointOptions, SeparateOptions,
 };
 use japrove::genbench::{Expected, FamilyParams};
 use japrove::tsys::replay;
