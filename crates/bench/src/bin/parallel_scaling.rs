@@ -1,35 +1,49 @@
 //! §11 — JA-verification and parallel computing.
 //!
 //! Runs JA-verification on the probe design with increasing worker
-//! counts. The paper argues the workload is embarrassingly parallel:
-//! local proofs get *easier* as the property set grows, and the need
-//! for clause exchange shrinks, so speedup should be close to linear.
+//! counts, once per registered SAT backend. The paper argues the
+//! workload is embarrassingly parallel: local proofs get *easier* as
+//! the property set grows, and the need for clause exchange shrinks,
+//! so speedup should be close to linear — and the per-backend rows
+//! show whether that holds independent of the solver.
 
 use japrove_bench::{fmt_time, Table};
 use japrove_core::{parallel_ja_verify, SeparateOptions};
 use japrove_genbench::parallel_spec;
+use japrove_sat::BackendChoice;
 use std::time::Instant;
 
 fn main() {
     let design = parallel_spec().generate();
     let sys = &design.sys;
     let mut table = Table::new(
-        "Section 11: parallel JA-verification scaling",
-        &["threads", "time", "speedup", "#true", "#unsolved"],
+        "Section 11: parallel JA-verification scaling, per backend",
+        &[
+            "backend",
+            "threads",
+            "time",
+            "speedup",
+            "#true",
+            "#unsolved",
+        ],
     );
-    let mut base = None;
-    for threads in [1usize, 2, 4, 8] {
-        let t0 = Instant::now();
-        let report = parallel_ja_verify(sys, threads, &SeparateOptions::local());
-        let elapsed = t0.elapsed();
-        let base_time = *base.get_or_insert(elapsed);
-        table.row(&[
-            &threads.to_string(),
-            &fmt_time(elapsed),
-            &format!("{:.2}x", base_time.as_secs_f64() / elapsed.as_secs_f64()),
-            &report.num_true().to_string(),
-            &report.num_unsolved().to_string(),
-        ]);
+    for &backend in BackendChoice::ALL {
+        let opts = SeparateOptions::local().backend(backend);
+        let mut base = None;
+        for threads in [1usize, 2, 4, 8] {
+            let t0 = Instant::now();
+            let report = parallel_ja_verify(sys, threads, &opts);
+            let elapsed = t0.elapsed();
+            let base_time = *base.get_or_insert(elapsed);
+            table.row(&[
+                backend.name(),
+                &threads.to_string(),
+                &fmt_time(elapsed),
+                &format!("{:.2}x", base_time.as_secs_f64() / elapsed.as_secs_f64()),
+                &report.num_true().to_string(),
+                &report.num_unsolved().to_string(),
+            ]);
+        }
     }
     table.print();
     println!(

@@ -9,8 +9,8 @@
 
 use crate::{MultiReport, PropertyResult, Scope};
 use japrove_aig::AigLit;
-use japrove_ic3::{Bmc, BmcResult, CheckOutcome, Ic3, Ic3Options, UnknownReason};
-use japrove_sat::Budget;
+use japrove_ic3::{Bmc, BmcResult, CheckOutcome, Counterexample, Ic3, Ic3Options, UnknownReason};
+use japrove_sat::{BackendChoice, Budget};
 use japrove_tsys::{replay, PropertyId, TransitionSystem};
 use std::time::{Duration, Instant};
 
@@ -35,9 +35,18 @@ pub struct JointOptions {
     /// (`None` disables the portfolio; this models the ABC joint
     /// baseline which interleaves `bmc` and `pdr`).
     pub bmc_depth: Option<usize>,
+    /// Conflict allowance for each depth query of the BMC front-end
+    /// (`None` = the base engine budget). The allowance is re-armed
+    /// per depth, so a front-end of depth `d` may spend up to
+    /// `(d + 1) * bmc_conflicts` conflicts in total. A front-end that
+    /// runs dry falls through to IC3; it never decides the verdict on
+    /// its own.
+    pub bmc_conflicts: Option<u64>,
     /// Verify only these properties (`None` = all), e.g. the "first k
     /// properties" experiments of Table II.
     pub subset: Option<Vec<PropertyId>>,
+    /// SAT backend for the aggregate BMC and IC3 runs.
+    pub backend: BackendChoice,
 }
 
 impl JointOptions {
@@ -47,7 +56,9 @@ impl JointOptions {
             total: None,
             ic3: Ic3Options::new(),
             bmc_depth: None,
+            bmc_conflicts: None,
             subset: None,
+            backend: BackendChoice::default(),
         }
     }
 
@@ -69,9 +80,23 @@ impl JointOptions {
         self
     }
 
+    /// Caps each depth query of the BMC front-end at the given number
+    /// of conflicts (see [`JointOptions::bmc_conflicts`] for the
+    /// resulting front-end total).
+    pub fn bmc_conflicts(mut self, conflicts: u64) -> Self {
+        self.bmc_conflicts = Some(conflicts);
+        self
+    }
+
     /// Sets the base engine options.
     pub fn ic3(mut self, ic3: Ic3Options) -> Self {
         self.ic3 = ic3;
+        self
+    }
+
+    /// Selects the SAT backend.
+    pub fn backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
         self
     }
 }
@@ -93,6 +118,30 @@ fn aggregate_system(
     let all = agg.aig_mut().and_many(goods);
     let id = agg.add_property("aggregate", all);
     (agg, id)
+}
+
+/// The candidates an aggregate counterexample refutes: the subset of
+/// `remaining` violated by the trace's final state. Returns an empty
+/// vector when the trace does not replay on the design or falsifies no
+/// candidate — callers must treat that as a spurious counterexample
+/// (and stop iterating) rather than panic, so one bad trace cannot
+/// crash a serving driver.
+pub(crate) fn falsified_by_replay(
+    sys: &TransitionSystem,
+    remaining: &[PropertyId],
+    cex: &Counterexample,
+) -> Vec<PropertyId> {
+    match replay(sys, &cex.trace) {
+        Ok(r) => {
+            let final_step = cex.trace.len();
+            remaining
+                .iter()
+                .copied()
+                .filter(|p| r.violated_at(final_step).contains(p))
+                .collect()
+        }
+        Err(_) => Vec::new(),
+    }
 }
 
 /// Runs joint verification (Jnt-ver): verify the aggregate property,
@@ -147,6 +196,7 @@ pub fn joint_verify(sys: &TransitionSystem, opts: &JointOptions) -> MultiReport 
             time: t0.elapsed(),
             frames,
             retried: false,
+            backend: opts.backend,
         });
     };
 
@@ -164,28 +214,45 @@ pub fn joint_verify(sys: &TransitionSystem, opts: &JointOptions) -> MultiReport 
             }
             break;
         }
-        let mut budget = Budget::unlimited();
-        if let Some(d) = deadline {
-            budget = budget.with_deadline(d);
-        }
+        // The engine budget starts from the caller's base budget (it is
+        // no longer silently replaced) and additionally observes the
+        // total deadline.
+        let with_deadline = |b: Budget| match deadline {
+            Some(d) => b.with_deadline(d),
+            None => b,
+        };
+        let budget = with_deadline(opts.ic3.budget);
         let (agg, agg_id) = aggregate_system(sys, &remaining);
 
-        // Optional BMC front-end for shallow refutations.
+        // Optional BMC front-end for shallow refutations. A front-end
+        // that runs out of budget must NOT decide the verdict: unless
+        // the total deadline is actually spent, control falls through
+        // to IC3 (the bug fixed here marked every remaining property
+        // Unknown without ever running IC3).
         let mut outcome = None;
         if let Some(depth) = opts.bmc_depth {
-            let mut bmc = Bmc::new(&agg);
-            match bmc.run(&[agg_id], depth, budget) {
+            let bmc_budget = match opts.bmc_conflicts {
+                Some(n) => with_deadline(Budget::conflicts(n)),
+                None => budget,
+            };
+            let mut bmc = Bmc::with_backend(&agg, opts.backend);
+            match bmc.run(&[agg_id], depth, bmc_budget) {
                 BmcResult::Cex { cex, .. } => {
                     outcome = Some(CheckOutcome::Falsified(cex));
                 }
                 BmcResult::NoCexUpTo(_) => {}
-                BmcResult::Unknown(r) => outcome = Some(CheckOutcome::Unknown(r)),
+                BmcResult::Unknown(r) => {
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        outcome = Some(CheckOutcome::Unknown(r));
+                    }
+                }
             }
         }
         let (outcome, frames) = match outcome {
             Some(o) => (o, 0),
             None => {
-                let mut engine = Ic3::new(&agg, agg_id, opts.ic3.budget(budget));
+                let ic3_opts = opts.ic3.budget(budget).backend(opts.backend);
+                let mut engine = Ic3::new(&agg, agg_id, ic3_opts);
                 let o = engine.run();
                 (o, engine.stats().frames)
             }
@@ -216,18 +283,23 @@ pub fn joint_verify(sys: &TransitionSystem, opts: &JointOptions) -> MultiReport 
             }
             CheckOutcome::Falsified(cex) => {
                 // Replay on the original system to see which properties
-                // the final state falsifies.
-                let r = replay(sys, &cex.trace).expect("aggregate traces replay on the design");
-                let final_step = cex.trace.len();
-                let falsified: Vec<PropertyId> = remaining
-                    .iter()
-                    .copied()
-                    .filter(|p| r.violated_at(final_step).contains(p))
-                    .collect();
-                assert!(
-                    !falsified.is_empty(),
-                    "aggregate counterexample falsifies no property"
-                );
+                // the final state falsifies. An unreplayable trace, or
+                // one that falsifies nothing, would loop forever here;
+                // degrade the remaining properties to Unknown instead
+                // of panicking.
+                let falsified = falsified_by_replay(sys, &remaining, &cex);
+                if falsified.is_empty() {
+                    for id in remaining.drain(..) {
+                        push_result(
+                            &mut report,
+                            id,
+                            CheckOutcome::Unknown(UnknownReason::SpuriousCex),
+                            frames,
+                            iteration_start,
+                        );
+                    }
+                    break;
+                }
                 for &id in &falsified {
                     push_result(
                         &mut report,

@@ -161,6 +161,115 @@ mod tests {
     }
 
     #[test]
+    fn parallel_honors_global_scope() {
+        // Regression: parallel_ja_verify used to overwrite the scope
+        // with Local, so a requested parallel-global run silently
+        // proved under assumptions. Verdicts and recorded scope must
+        // match the sequential separate-global driver.
+        let (sys, _, _) = paper_counter(6);
+        let opts = SeparateOptions::global();
+        let seq = separate_verify(&sys, &opts);
+        let par = parallel_ja_verify(&sys, 3, &opts);
+        assert!(par.method.contains("separate-global"), "{}", par.method);
+        for (a, b) in seq.results.iter().zip(&par.results) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(b.scope, Scope::Global, "{}", b.name);
+            assert_eq!(a.holds(), b.holds(), "{}", a.name);
+            assert_eq!(a.fails(), b.fails(), "{}", a.name);
+        }
+        // The decisive difference to a local run: P1's deep failure is
+        // real globally, while JA proves it locally.
+        let local = parallel_ja_verify(&sys, 3, &SeparateOptions::local());
+        let p1 = PropertyId::new(1);
+        assert!(par.result(p1).expect("p1").fails());
+        assert!(local.result(p1).expect("p1").holds());
+    }
+
+    #[test]
+    fn joint_bmc_front_end_running_dry_falls_through_to_ic3() {
+        // Regression: a BMC front-end that exhausted its budget used to
+        // mark every remaining property Unknown without ever running
+        // IC3. With a 1-conflict allowance the front-end runs dry on
+        // the deep failure; IC3 must still decide both properties.
+        use japrove_ic3::{Bmc, BmcResult};
+        use japrove_sat::Budget;
+        let (sys, p0, p1) = paper_counter(4);
+        // The front-end really does run dry under this allowance (so
+        // the old code would have reported p1 as Unknown).
+        let dry = Bmc::new(&sys).run(&[p1], 8, Budget::conflicts(1));
+        assert!(matches!(dry, BmcResult::Unknown(_)), "{dry:?}");
+        let report = joint_verify(&sys, &JointOptions::new().bmc_depth(8).bmc_conflicts(1));
+        assert_eq!(report.num_unsolved(), 0, "{report}");
+        assert!(report.result(p0).expect("p0").fails());
+        assert!(report.result(p1).expect("p1").fails());
+        let cex = report
+            .result(p1)
+            .and_then(|r| r.counterexample())
+            .expect("p1 cex");
+        assert_eq!(cex.depth, 9);
+    }
+
+    #[test]
+    fn spurious_aggregate_counterexamples_degrade_to_unknown() {
+        use japrove_ic3::Counterexample;
+        use japrove_tsys::{complete_trace, Trace};
+        // A counter whose property never fails: a trace of it falsifies
+        // nothing, and a malformed trace does not replay. Both cases
+        // must yield an empty refutation set (the driver then reports
+        // Unknown(SpuriousCex) instead of panicking).
+        let mut aig = Aig::new();
+        let c = Word::latches(&mut aig, 3, 0);
+        let n = c.increment(&mut aig);
+        c.set_next(&mut aig, &n);
+        let ok = c.lt_const(&mut aig, 8);
+        let mut sys = TransitionSystem::new("cnt", aig);
+        let p = sys.add_property("always", ok);
+        let good_trace = complete_trace(&sys, vec![vec![], vec![]]);
+        let harmless = Counterexample {
+            trace: good_trace,
+            depth: 1,
+        };
+        assert!(crate::joint::falsified_by_replay(&sys, &[p], &harmless).is_empty());
+        let unreplayable = Counterexample {
+            trace: Trace::new(vec![vec![true]], vec![vec![]]),
+            depth: 0,
+        };
+        assert!(crate::joint::falsified_by_replay(&sys, &[p], &unreplayable).is_empty());
+    }
+
+    #[test]
+    fn per_property_backend_overrides_are_applied() {
+        use japrove_sat::BackendChoice;
+        let (sys, p0, p1) = paper_counter(5);
+        let plain = ja_verify(&sys, &SeparateOptions::local());
+        let opts = SeparateOptions::local()
+            .backend(BackendChoice::Cdcl)
+            .backend_for(p1, BackendChoice::ChronoCdcl);
+        assert_eq!(opts.backend_of(p0), BackendChoice::Cdcl);
+        assert_eq!(opts.backend_of(p1), BackendChoice::ChronoCdcl);
+        let mixed = ja_verify(&sys, &opts);
+        for (a, b) in plain.results.iter().zip(&mixed.results) {
+            assert_eq!(a.holds(), b.holds(), "{}", a.name);
+            assert_eq!(a.fails(), b.fails(), "{}", a.name);
+        }
+        assert_eq!(mixed.result(p0).expect("p0").backend, BackendChoice::Cdcl);
+        assert_eq!(
+            mixed.result(p1).expect("p1").backend,
+            BackendChoice::ChronoCdcl
+        );
+        // Whole-run backend switch agrees too (joint driver included).
+        let chrono = joint_verify(
+            &sys,
+            &JointOptions::new().backend(BackendChoice::ChronoCdcl),
+        );
+        assert_eq!(chrono.num_false(), 2);
+        assert!(chrono
+            .results
+            .iter()
+            .all(|r| r.backend == BackendChoice::ChronoCdcl));
+    }
+
+    #[test]
     fn reuse_flag_changes_method_label_not_verdicts() {
         let (sys, _, _) = paper_counter(5);
         let with = separate_verify(&sys, &SeparateOptions::local().reuse(true));

@@ -1,11 +1,17 @@
-//! Parallel JA-verification (§11).
+//! Parallel separate verification (§11).
 //!
-//! Properties are independent jobs under JA-verification, so they can
-//! be farmed out to worker threads; the shared [`ClauseDb`] provides
-//! the (optional) exchange of strengthening clauses. The paper argues
-//! that the larger the property set, the *less* information exchange
-//! matters — local proofs get easier with more constraints — which is
-//! what makes the parallelization embarrassing.
+//! Properties are independent jobs under separate verification, so
+//! they can be farmed out to worker threads; the shared [`ClauseDb`]
+//! provides the (optional) exchange of strengthening clauses. The
+//! paper argues that the larger the property set, the *less*
+//! information exchange matters — local proofs get easier with more
+//! constraints — which is what makes the parallelization embarrassing.
+//!
+//! The driver honors the full [`SeparateOptions`]: with
+//! [`Scope::Local`] it is the parallel JA-verification of §11, with
+//! [`Scope::Global`] a parallel version of the separate-global
+//! baseline, and the per-property backend overrides let a portfolio
+//! run different SAT backends side by side.
 
 use crate::separate::{check_one, local_assumptions};
 use crate::ClauseDb;
@@ -15,11 +21,13 @@ use japrove_tsys::{PropertyId, TransitionSystem};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
-/// Runs JA-verification with `threads` worker threads.
+/// Runs separate verification with `threads` worker threads.
 ///
-/// Behaviourally equivalent to [`crate::ja_verify`] (same verdicts);
-/// clause re-use becomes best-effort: each property sees the clauses
-/// published before its own run started.
+/// Behaviourally equivalent to [`crate::separate_verify`] with the
+/// same options (same verdicts) — in particular [`Scope::Global`] is
+/// honored, not silently downgraded to local proofs; clause re-use
+/// becomes best-effort: each property sees the clauses published
+/// before its own run started.
 ///
 /// # Panics
 ///
@@ -49,10 +57,11 @@ pub fn parallel_ja_verify(
 ) -> MultiReport {
     assert!(threads > 0, "need at least one worker thread");
     let started = Instant::now();
-    let mut opts = opts.clone();
-    opts.scope = Scope::Local;
     let deadline = opts.total.map(|d| Instant::now() + d);
-    let assumed = local_assumptions(sys);
+    let assumed = match opts.scope {
+        Scope::Local => local_assumptions(sys),
+        Scope::Global => Vec::new(),
+    };
     let order: Vec<PropertyId> = opts
         .order
         .clone()
@@ -68,7 +77,6 @@ pub fn parallel_ja_verify(
             let assumed = &assumed;
             let next = &next;
             let db = db.clone();
-            let opts = &opts;
             handles.push(scope.spawn(move || {
                 let mut mine = Vec::new();
                 loop {
@@ -93,7 +101,11 @@ pub fn parallel_ja_verify(
         }
     });
 
-    let mut report = MultiReport::new(sys.name(), format!("parallel-ja x{threads}"));
+    let method = match opts.scope {
+        Scope::Local => format!("parallel-ja x{threads}"),
+        Scope::Global => format!("parallel-separate-global x{threads}"),
+    };
+    let mut report = MultiReport::new(sys.name(), method);
     report.results = slots
         .into_iter()
         .map(|s| s.expect("every property processed"))

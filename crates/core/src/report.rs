@@ -1,6 +1,7 @@
 //! Multi-property verification reports.
 
 use japrove_ic3::{CheckOutcome, Counterexample};
+use japrove_sat::BackendChoice;
 use japrove_tsys::PropertyId;
 use std::fmt;
 use std::time::Duration;
@@ -43,6 +44,8 @@ pub struct PropertyResult {
     /// `true` if the property was re-run with constraint-respecting
     /// lifting after a spurious counterexample (§7-A).
     pub retried: bool,
+    /// SAT backend that produced this verdict.
+    pub backend: BackendChoice,
 }
 
 impl PropertyResult {
@@ -162,12 +165,17 @@ impl fmt::Display for MultiReport {
         for r in &self.results {
             writeln!(
                 f,
-                "  {:>6}  {:<24} {:<10} {:>9.3}s  frames={}{}",
+                "  {:>6}  {:<24} {:<10} {:>9.3}s  frames={}{}{}",
                 r.id.to_string(),
                 r.name,
                 format!("{} ({})", self.verdict_word(r), r.scope),
                 r.time.as_secs_f64(),
                 r.frames,
+                if r.backend == BackendChoice::default() {
+                    String::new()
+                } else {
+                    format!("  [{}]", r.backend)
+                },
                 if r.retried { "  [retried]" } else { "" }
             )?;
         }
@@ -199,6 +207,7 @@ mod tests {
             time: Duration::from_millis(10),
             frames: 1,
             retried: false,
+            backend: BackendChoice::default(),
         }
     }
 

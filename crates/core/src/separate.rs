@@ -7,7 +7,7 @@
 
 use crate::{ClauseDb, MultiReport, PropertyResult, Scope};
 use japrove_ic3::{CheckOutcome, Ic3, Ic3Options, Lifting};
-use japrove_sat::Budget;
+use japrove_sat::{BackendChoice, Budget};
 use japrove_tsys::{replay, Expectation, PropertyId, TransitionSystem};
 use std::time::{Duration, Instant};
 
@@ -42,6 +42,11 @@ pub struct SeparateOptions {
     /// Property order; `None` uses declaration order (the paper's
     /// default: "properties are verified in the order they are given").
     pub order: Option<Vec<PropertyId>>,
+    /// SAT backend used for every property without an override.
+    pub backend: BackendChoice,
+    /// Per-property backend overrides: the portfolio assignment. Later
+    /// entries win, so appending is enough to re-assign a property.
+    pub backend_overrides: Vec<(PropertyId, BackendChoice)>,
 }
 
 impl SeparateOptions {
@@ -55,6 +60,8 @@ impl SeparateOptions {
             total: None,
             ic3: Ic3Options::new(),
             order: None,
+            backend: BackendChoice::default(),
+            backend_overrides: Vec::new(),
         }
     }
 
@@ -95,6 +102,29 @@ impl SeparateOptions {
     pub fn order(mut self, order: Vec<PropertyId>) -> Self {
         self.order = Some(order);
         self
+    }
+
+    /// Sets the default SAT backend for every property.
+    pub fn backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Assigns a specific backend to one property (portfolio mode).
+    pub fn backend_for(mut self, id: PropertyId, backend: BackendChoice) -> Self {
+        self.backend_overrides.push((id, backend));
+        self
+    }
+
+    /// The backend that will check property `id`: the last override
+    /// for it, or the default backend.
+    pub fn backend_of(&self, id: PropertyId) -> BackendChoice {
+        self.backend_overrides
+            .iter()
+            .rev()
+            .find(|(p, _)| *p == id)
+            .map(|&(_, b)| b)
+            .unwrap_or(self.backend)
     }
 
     /// Sets the base engine options.
@@ -143,7 +173,12 @@ pub(crate) fn check_one(
     } else {
         Vec::new()
     };
-    let base = opts.ic3.lifting(opts.lifting).budget(budget);
+    let backend = opts.backend_of(id);
+    let base = opts
+        .ic3
+        .lifting(opts.lifting)
+        .budget(budget)
+        .backend(backend);
     let mut engine = Ic3::with_context(sys, id, base, assumed.to_vec(), imported.clone());
     let mut outcome = engine.run();
     let mut frames = engine.stats().frames;
@@ -177,6 +212,7 @@ pub(crate) fn check_one(
         time: started.elapsed(),
         frames,
         retried,
+        backend,
     }
 }
 
@@ -249,6 +285,7 @@ pub fn separate_verify(sys: &TransitionSystem, opts: &SeparateOptions) -> MultiR
                 time: Duration::ZERO,
                 frames: 0,
                 retried: false,
+                backend: opts.backend_of(id),
             });
             continue;
         }

@@ -3,7 +3,7 @@
 use crate::{Counterexample, UnknownReason};
 use japrove_aig::CnfEncoder;
 use japrove_logic::{Lit, Var};
-use japrove_sat::{Budget, SolveResult, Solver};
+use japrove_sat::{BackendChoice, Budget, SatBackend, SolveResult};
 use japrove_tsys::{PropertyId, Trace, TransitionSystem};
 
 /// Outcome of a BMC run.
@@ -62,7 +62,7 @@ impl BmcResult {
 #[derive(Debug)]
 pub struct Bmc<'a> {
     sys: &'a TransitionSystem,
-    solver: Solver,
+    solver: Box<dyn SatBackend>,
     /// Present-state variables per unrolled frame.
     state_vars: Vec<Vec<Var>>,
     /// Input variables per frame.
@@ -72,11 +72,17 @@ pub struct Bmc<'a> {
 }
 
 impl<'a> Bmc<'a> {
-    /// Creates a checker with frame 0 (the initial state) encoded.
+    /// Creates a checker with frame 0 (the initial state) encoded,
+    /// running on the default SAT backend.
     pub fn new(sys: &'a TransitionSystem) -> Self {
+        Bmc::with_backend(sys, BackendChoice::default())
+    }
+
+    /// Creates a checker on the given SAT backend.
+    pub fn with_backend(sys: &'a TransitionSystem, backend: BackendChoice) -> Self {
         let mut bmc = Bmc {
             sys,
-            solver: Solver::new(),
+            solver: backend.build(),
             state_vars: Vec::new(),
             input_vars: Vec::new(),
             good_lits: Vec::new(),
@@ -89,11 +95,16 @@ impl<'a> Bmc<'a> {
             .map(|_| bmc.solver.new_var())
             .collect();
         for (v, latch) in vars.iter().zip(sys.aig().latches()) {
-            bmc.solver.add_clause([v.lit(!latch.reset)]);
+            bmc.solver.add_clause(&[v.lit(!latch.reset)]);
         }
         bmc.state_vars.push(vars);
         bmc.encode_frame_logic();
         bmc
+    }
+
+    /// Name of the SAT backend this checker runs on.
+    pub fn backend_name(&self) -> &'static str {
+        self.solver.backend_name()
     }
 
     /// Number of fully encoded frames (depths `0..frames()` are
@@ -134,15 +145,15 @@ impl<'a> Bmc<'a> {
         let cnf = enc.take_new_clauses();
         self.solver.ensure_vars(cnf.num_vars());
         for c in cnf.clauses() {
-            self.solver.add_clause(c.lits().iter().copied());
+            self.solver.add_clause(c.lits());
         }
         // Design constraints hold at every step.
         for &c in &constraints {
-            self.solver.add_clause([c]);
+            self.solver.add_clause(&[c]);
         }
         for (&v, &f) in next_vars.iter().zip(&nexts) {
-            self.solver.add_clause([v.neg(), f]);
-            self.solver.add_clause([v.pos(), !f]);
+            self.solver.add_clause(&[v.neg(), f]);
+            self.solver.add_clause(&[v.pos(), !f]);
         }
         self.input_vars.push(inputs);
         self.good_lits.push(goods);
@@ -172,10 +183,10 @@ impl<'a> Bmc<'a> {
             let aux = self.solver.new_var();
             let mut clause: Vec<Lit> = vec![aux.neg()];
             clause.extend(&bads);
-            self.solver.add_clause(clause);
+            self.solver.add_clause(&clause);
             let r = self.solver.solve(&[aux.pos()]);
             // Permanently disable the auxiliary definition.
-            self.solver.add_clause([aux.neg()]);
+            self.solver.add_clause(&[aux.neg()]);
             r
         };
         match result {
@@ -205,22 +216,14 @@ impl<'a> Bmc<'a> {
     }
 
     fn extract_trace(&self, k: usize) -> Trace {
-        let model = self.solver.model();
+        let value = |v: Var| self.solver.model_value(v.pos()).to_bool().unwrap_or(false);
         let states: Vec<Vec<bool>> = self.state_vars[..=k]
             .iter()
-            .map(|vars| {
-                vars.iter()
-                    .map(|&v| model.value(v).to_bool().unwrap_or(false))
-                    .collect()
-            })
+            .map(|vars| vars.iter().map(|&v| value(v)).collect())
             .collect();
         let inputs: Vec<Vec<bool>> = self.input_vars[..=k]
             .iter()
-            .map(|vars| {
-                vars.iter()
-                    .map(|&v| model.value(v).to_bool().unwrap_or(false))
-                    .collect()
-            })
+            .map(|vars| vars.iter().map(|&v| value(v)).collect())
             .collect();
         Trace::new(states, inputs)
     }

@@ -2,7 +2,7 @@
 
 use japrove_aig::CnfEncoder;
 use japrove_logic::{Clause, Cnf, Cube, Lit, Var};
-use japrove_sat::Solver;
+use japrove_sat::SatBackend;
 use japrove_tsys::{PropertyId, TransitionSystem};
 
 /// The CNF skeleton of an `(I, T)`-system with a fixed variable layout:
@@ -163,11 +163,13 @@ impl TsEncoding {
     }
 
     /// Loads the encoding into a fresh region of `solver` (which must
-    /// be empty or contain only this encoding's variables).
-    pub fn load_into(&self, solver: &mut Solver) {
+    /// be empty or contain only this encoding's variables). Accepts any
+    /// [`SatBackend`], so the engines can load the same encoding into
+    /// whichever solver the portfolio selected.
+    pub fn load_into(&self, solver: &mut dyn SatBackend) {
         solver.ensure_vars(self.cnf.num_vars());
         for c in self.cnf.clauses() {
-            solver.add_clause(c.lits().iter().copied());
+            solver.add_clause(c.lits());
         }
     }
 
@@ -185,7 +187,7 @@ impl TsEncoding {
 mod tests {
     use super::*;
     use japrove_aig::Aig;
-    use japrove_sat::SolveResult;
+    use japrove_sat::{SolveResult, Solver};
     use japrove_tsys::Word;
 
     fn counter_sys(bits: usize) -> TransitionSystem {

@@ -17,7 +17,7 @@ use crate::{
     UnknownReason,
 };
 use japrove_logic::{Clause, Cube, Lit, Var};
-use japrove_sat::{SolveResult, Solver};
+use japrove_sat::{SatBackend, SolveResult};
 use japrove_tsys::{complete_trace, PropertyId, TransitionSystem};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -82,11 +82,11 @@ pub struct Ic3<'a> {
     /// Delta-encoded frames: `frames[j]` holds the cubes blocked
     /// exactly at level `j`; level 0 is the initial-state frame.
     frames: Vec<Vec<Cube>>,
-    cons: Solver,
+    cons: Box<dyn SatBackend>,
     frame_act: Vec<Var>,
     prop_cons_act: Option<Var>,
     cons_temp: usize,
-    lift: Solver,
+    lift: Box<dyn SatBackend>,
     lift_temp: usize,
     stats: RunStats,
     obligations: Vec<Obligation>,
@@ -120,11 +120,11 @@ impl<'a> Ic3<'a> {
             assumed,
             imported,
             frames: vec![Vec::new()],
-            cons: Solver::new(),
+            cons: opts.backend.build(),
             frame_act: Vec::new(),
             prop_cons_act: None,
             cons_temp: 0,
-            lift: Solver::new(),
+            lift: opts.backend.build(),
             lift_temp: 0,
             stats: RunStats::default(),
             obligations: Vec::new(),
@@ -137,6 +137,11 @@ impl<'a> Ic3<'a> {
     /// Statistics of the run so far.
     pub fn stats(&self) -> &RunStats {
         &self.stats
+    }
+
+    /// Name of the SAT backend this engine runs on.
+    pub fn backend_name(&self) -> &'static str {
+        self.cons.backend_name()
     }
 
     /// Runs the engine to completion (or budget exhaustion).
@@ -213,13 +218,13 @@ impl<'a> Ic3<'a> {
     // ----- solver construction ------------------------------------------
 
     fn rebuild_cons(&mut self) {
-        let mut solver = Solver::new();
-        self.enc.load_into(&mut solver);
+        let mut solver = self.opts.backend.build();
+        self.enc.load_into(solver.as_mut());
         for clause in &self.imported {
-            solver.add_clause(clause.lits().iter().copied());
+            solver.add_clause(clause.lits());
         }
         for &c in self.enc.constraint_lits() {
-            solver.add_clause([c]);
+            solver.add_clause(&[c]);
         }
         // Assumed-property constraints behind one activation literal.
         self.prop_cons_act = if self.assumed.is_empty() {
@@ -228,7 +233,7 @@ impl<'a> Ic3<'a> {
             let a = solver.new_var();
             for &p in &self.assumed {
                 let lit = self.enc.good_lit(p);
-                solver.add_clause([a.neg(), lit]);
+                solver.add_clause(&[a.neg(), lit]);
             }
             Some(a)
         };
@@ -239,13 +244,13 @@ impl<'a> Ic3<'a> {
             self.frame_act.push(a);
             if level == 0 {
                 for &init in self.enc.init_lits() {
-                    solver.add_clause([a.neg(), init]);
+                    solver.add_clause(&[a.neg(), init]);
                 }
             } else {
                 for cube in &self.frames[level] {
                     let mut clause: Vec<Lit> = vec![a.neg()];
                     clause.extend(cube.iter().map(|&l| !l));
-                    solver.add_clause(clause);
+                    solver.add_clause(&clause);
                 }
             }
         }
@@ -254,8 +259,8 @@ impl<'a> Ic3<'a> {
     }
 
     fn rebuild_lift(&mut self) {
-        let mut solver = Solver::new();
-        self.enc.load_into(&mut solver);
+        let mut solver = self.opts.backend.build();
+        self.enc.load_into(solver.as_mut());
         self.lift = solver;
         self.lift_temp = 0;
     }
@@ -301,7 +306,7 @@ impl<'a> Ic3<'a> {
         let t = self.cons.new_var();
         let mut not_cube: Vec<Lit> = vec![t.neg()];
         not_cube.extend(cube.iter().map(|&l| !l));
-        self.cons.add_clause(not_cube);
+        self.cons.add_clause(&not_cube);
         let mut assumptions = self.frame_assumptions(frame - 1);
         if let Some(a) = self.prop_cons_act {
             assumptions.push(a.pos());
@@ -332,7 +337,7 @@ impl<'a> Ic3<'a> {
                 Consecution::Blocked(shrunk)
             }
         };
-        self.cons.add_clause([t.neg()]);
+        self.cons.add_clause(&[t.neg()]);
         self.cons_temp += 1;
         outcome
     }
@@ -408,7 +413,7 @@ impl<'a> Ic3<'a> {
                 clause.extend(self.enc.constraint_lits().iter().map(|&c| !c));
             }
         }
-        self.lift.add_clause(clause);
+        self.lift.add_clause(&clause);
         let state_lits: Vec<Lit> = state
             .iter()
             .enumerate()
@@ -436,7 +441,7 @@ impl<'a> Ic3<'a> {
             // Defensive: lifting must be UNSAT; fall back to the full state.
             _ => Cube::from_lits(state_lits.iter().copied()),
         };
-        self.lift.add_clause([t.neg()]);
+        self.lift.add_clause(&[t.neg()]);
         self.lift_temp += 1;
         // Keep obligation cubes disjoint from the initial state.
         if self.enc.cube_intersects_init(&cube) {
@@ -571,7 +576,7 @@ impl<'a> Ic3<'a> {
         let act = self.frame_act[level];
         let mut clause: Vec<Lit> = vec![act.neg()];
         clause.extend(cube.iter().map(|&l| !l));
-        self.cons.add_clause(clause);
+        self.cons.add_clause(&clause);
         self.frames[level].push(cube);
         self.stats.clauses = self.frames.iter().map(Vec::len).sum();
     }

@@ -200,6 +200,45 @@ mod tests {
     }
 
     #[test]
+    fn every_backend_agrees_on_the_paper_example() {
+        use japrove_sat::BackendChoice;
+        let (sys, p0, p1) = paper_counter(4);
+        for &backend in BackendChoice::ALL {
+            let opts = Ic3Options::new().backend(backend);
+            let mut engine = Ic3::new(&sys, p1, opts);
+            assert_eq!(engine.backend_name(), backend.name());
+            let cex = engine.run().counterexample().cloned().unwrap_or_else(|| {
+                panic!("{backend}: p1 must fail globally");
+            });
+            let r = replay(&sys, &cex.trace).expect("replayable");
+            assert!(r.violates_finally(p1), "{backend}");
+            // Local proof of p1 succeeds on every backend too.
+            let outcome = Ic3::with_context(&sys, p1, opts, vec![p0, p1], Vec::new()).run();
+            let cert = outcome
+                .certificate()
+                .unwrap_or_else(|| panic!("{backend}: p1 must hold locally"));
+            assert!(
+                verify_certificate(&sys, p1, &[p0, p1], cert).is_ok(),
+                "{backend}"
+            );
+        }
+    }
+
+    #[test]
+    fn bmc_backends_agree_on_cex_depth() {
+        use japrove_sat::{BackendChoice, Budget};
+        let (sys, p) = counter(4, 9);
+        for &backend in BackendChoice::ALL {
+            let mut bmc = Bmc::with_backend(&sys, backend);
+            assert_eq!(bmc.backend_name(), backend.name());
+            match bmc.run(&[p], 32, Budget::unlimited()) {
+                BmcResult::Cex { cex, .. } => assert_eq!(cex.depth, 9, "{backend}"),
+                other => panic!("{backend}: expected cex, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn respect_mode_agrees_with_ignore_mode() {
         let (sys, p0, p1) = paper_counter(5);
         for lifting in [Lifting::Ignore, Lifting::Respect] {

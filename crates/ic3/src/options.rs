@@ -1,6 +1,6 @@
 //! Engine configuration.
 
-use japrove_sat::Budget;
+use japrove_sat::{BackendChoice, Budget};
 
 /// How state lifting treats the property constraints of a local proof
 /// (§7-A of the paper).
@@ -50,6 +50,11 @@ pub struct Ic3Options {
     /// Rebuild the consecution solver after this many temporary
     /// activation clauses have accumulated.
     pub rebuild_interval: usize,
+    /// SAT backend this run builds its solvers from. Rebuilt solvers
+    /// stay on the same backend, so one engine run is homogeneous; the
+    /// multi-property drivers may pick a different backend per
+    /// property.
+    pub backend: BackendChoice,
 }
 
 impl Ic3Options {
@@ -62,6 +67,7 @@ impl Ic3Options {
             generalize_passes: 1,
             push_obligations: true,
             rebuild_interval: 3000,
+            backend: BackendChoice::default(),
         }
     }
 
@@ -94,6 +100,12 @@ impl Ic3Options {
         self.push_obligations = yes;
         self
     }
+
+    /// Selects the SAT backend.
+    pub fn backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
+        self
+    }
 }
 
 impl Default for Ic3Options {
@@ -111,10 +123,13 @@ mod tests {
         let o = Ic3Options::new()
             .max_frames(5)
             .generalize_passes(3)
-            .push_obligations(false);
+            .push_obligations(false)
+            .backend(BackendChoice::ChronoCdcl);
         assert_eq!(o.max_frames, 5);
         assert_eq!(o.generalize_passes, 3);
         assert!(!o.push_obligations);
         assert_eq!(o.lifting, Lifting::Ignore);
+        assert_eq!(o.backend, BackendChoice::ChronoCdcl);
+        assert_eq!(Ic3Options::new().backend, BackendChoice::Cdcl);
     }
 }

@@ -47,6 +47,10 @@ pub enum UnknownReason {
     Budget,
     /// The frame cap was reached.
     FrameLimit,
+    /// An engine produced a counterexample that failed to replay or
+    /// falsified no queried property. Drivers report this instead of
+    /// crashing so one bad trace cannot take down a serving process.
+    SpuriousCex,
 }
 
 impl fmt::Display for UnknownReason {
@@ -54,6 +58,7 @@ impl fmt::Display for UnknownReason {
         match self {
             UnknownReason::Budget => write!(f, "budget exhausted"),
             UnknownReason::FrameLimit => write!(f, "frame limit reached"),
+            UnknownReason::SpuriousCex => write!(f, "spurious counterexample"),
         }
     }
 }

@@ -75,13 +75,20 @@ impl Budget {
         self.base_conflicts = current_conflicts;
     }
 
+    /// Returns `true` once the conflict allowance is spent given the
+    /// solver's cumulative conflict counter. Cheap (no clock read), so
+    /// the solver checks it after every conflict — a conflict limit of
+    /// `n` stops the search after exactly `n` conflicts.
+    pub(crate) fn conflicts_exhausted(&self, total_conflicts: u64) -> bool {
+        self.conflict_limit
+            .is_some_and(|limit| total_conflicts.saturating_sub(self.base_conflicts) >= limit)
+    }
+
     /// Returns `true` once the budget is spent given the solver's
     /// cumulative conflict counter.
     pub(crate) fn exhausted(&self, total_conflicts: u64) -> bool {
-        if let Some(limit) = self.conflict_limit {
-            if total_conflicts.saturating_sub(self.base_conflicts) >= limit {
-                return true;
-            }
+        if self.conflicts_exhausted(total_conflicts) {
+            return true;
         }
         if let Some(deadline) = self.deadline {
             if Instant::now() >= deadline {
@@ -108,6 +115,15 @@ mod tests {
         b.rebase(100);
         assert!(!b.exhausted(105));
         assert!(b.exhausted(110));
+        assert!(!b.conflicts_exhausted(109));
+        assert!(b.conflicts_exhausted(110));
+    }
+
+    #[test]
+    fn deadline_only_budget_never_exhausts_conflicts() {
+        let b = Budget::unlimited().with_deadline(Instant::now() - Duration::from_secs(1));
+        assert!(!b.conflicts_exhausted(u64::MAX));
+        assert!(b.exhausted(0));
     }
 
     #[test]

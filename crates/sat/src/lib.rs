@@ -11,7 +11,13 @@
 //!   unsatisfiable cores over the assumption set — the primitive that
 //!   powers IC3 generalization and state lifting,
 //! * per-call [`Budget`]s (conflicts and/or wall clock), used by the
-//!   multi-property engines to implement per-property time limits.
+//!   multi-property engines to implement per-property time limits,
+//! * the [`SatBackend`] trait and [`BackendChoice`] registry: the
+//!   engines talk to the solver only through this object-safe
+//!   interface, so every property of a multi-property run can be
+//!   assigned its own backend ([`Solver`], the chronological
+//!   [`Solver::chronological`] variant, or — behind the `cadical`
+//!   feature — the CaDiCaL FFI slot).
 //!
 //! # Examples
 //!
@@ -30,12 +36,16 @@
 //! assert_eq!(solver.unsat_core(), &[y.neg()]);
 //! ```
 
+mod backend;
 mod budget;
+#[cfg(feature = "cadical")]
+pub mod cadical;
 mod heap;
 mod solver;
 mod stats;
 mod store;
 
+pub use backend::{BackendChoice, SatBackend};
 pub use budget::Budget;
 pub use solver::{SolveResult, Solver};
 pub use stats::SolverStats;
@@ -135,6 +145,49 @@ mod randomized {
                 // Solving just the core must still be unsat.
                 assert_eq!(s.solve(&core), SolveResult::Unsat, "case {case}");
             }
+        }
+    }
+
+    #[test]
+    fn chronological_backtracking_agrees_with_backjumping() {
+        // Verdict parity of the two CDCL backends on random CNFs,
+        // including under assumptions; models are checked, cores must
+        // be sound in both modes.
+        for case in 0..256u64 {
+            let mut rng = SplitMix64::seed_from_u64(0xc4_0000 + case);
+            let cnf = random_cnf(&mut rng, 8, 24);
+            let mut assumptions: Vec<Lit> = Vec::new();
+            for _ in 0..rng.gen_index(0, 4) {
+                let l = Var::new(rng.gen_range(0, 8) as u32).lit(rng.gen_bool());
+                if !assumptions.iter().any(|&c| c.var() == l.var()) {
+                    assumptions.push(l);
+                }
+            }
+            let mut verdicts = Vec::new();
+            for chrono in [false, true] {
+                let mut s = if chrono {
+                    Solver::chronological()
+                } else {
+                    Solver::new()
+                };
+                s.ensure_vars(cnf.num_vars().max(8));
+                for c in cnf.clauses() {
+                    s.add_clause(c.lits().iter().copied());
+                }
+                let result = s.solve(&assumptions);
+                if result == SolveResult::Sat {
+                    for c in cnf.clauses() {
+                        let ok = c.lits().iter().any(|&l| !s.model_value(l).is_false());
+                        assert!(ok, "case {case} chrono={chrono}: model falsifies {c:?}");
+                    }
+                } else {
+                    let core = s.unsat_core().to_vec();
+                    assert!(core.iter().all(|l| assumptions.contains(l)), "case {case}");
+                    assert_eq!(s.solve(&core), SolveResult::Unsat, "case {case}");
+                }
+                verdicts.push(result);
+            }
+            assert_eq!(verdicts[0], verdicts[1], "case {case}: backends disagree");
         }
     }
 

@@ -89,6 +89,9 @@ pub struct Solver {
     budget: Budget,
     stats: SolverStats,
     max_learnts: f64,
+    /// Backtrack chronologically (one level per conflict) instead of
+    /// backjumping to the asserting level.
+    chrono: bool,
 }
 
 impl Solver {
@@ -101,6 +104,27 @@ impl Solver {
             max_learnts: 4000.0,
             ..Solver::default()
         }
+    }
+
+    /// Creates an empty solver that backtracks *chronologically*: after
+    /// a conflict it undoes a single decision level instead of
+    /// backjumping to the asserting level (Nadel & Ryvchin, SAT'18).
+    ///
+    /// The learnt clause stays asserting — all its non-UIP literals are
+    /// assigned at or below the asserting level, which is at or below
+    /// the new decision level — so learning, cores and models are
+    /// unaffected; only the search trajectory differs. This is the
+    /// `ChronoCdcl` backend of [`crate::BackendChoice`].
+    pub fn chronological() -> Self {
+        Solver {
+            chrono: true,
+            ..Solver::new()
+        }
+    }
+
+    /// `true` if this solver backtracks chronologically.
+    pub fn is_chronological(&self) -> bool {
+        self.chrono
     }
 
     /// Allocates a fresh variable.
@@ -666,7 +690,15 @@ impl Solver {
                 let (learnt, bt) = self.analyze(conflict);
                 // Never backjump into the assumption prefix below the
                 // asserting level; cancel_until handles re-picking.
-                self.cancel_until(bt);
+                // Chronological mode keeps the trail and retreats one
+                // level; bt <= decision_level - 1 always, so the learnt
+                // clause is asserting at the target level either way.
+                let target = if self.chrono {
+                    self.decision_level() - 1
+                } else {
+                    bt
+                };
+                self.cancel_until(target);
                 if learnt.len() == 1 {
                     if self.decision_level() > 0 {
                         self.cancel_until(0);
@@ -688,7 +720,11 @@ impl Solver {
                     self.stats.learnt_clauses += 1;
                 }
                 self.decay_activities();
-                if self.stats.conflicts % 64 == 0 && budget.exhausted(self.stats.conflicts) {
+                // The conflict allowance is exact (no clock read); the
+                // wall-clock deadline is only polled every 64 conflicts.
+                if budget.conflicts_exhausted(self.stats.conflicts)
+                    || (self.stats.conflicts % 64 == 0 && budget.exhausted(self.stats.conflicts))
+                {
                     return SearchOutcome::Budget;
                 }
                 if conflicts_here >= conflict_limit {

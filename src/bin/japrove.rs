@@ -12,6 +12,7 @@ use japrove::core::{
     SeparateOptions,
 };
 use japrove::ic3::Lifting;
+use japrove::sat::BackendChoice;
 use japrove::tsys::{write_witness, TransitionSystem};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -23,9 +24,11 @@ USAGE:
     japrove [OPTIONS] <design.aag|design.aig>
 
 OPTIONS:
-    --mode <ja|joint|separate-global|grouped|parallel>
+    --mode <ja|joint|separate-global|grouped|parallel|parallel-global>
                               verification driver [default: ja]
-    --threads <N>             workers for --mode parallel [default: 2]
+    --threads <N>             workers for the parallel modes [default: 2]
+    --backend <cdcl|chrono>   SAT backend for every engine run
+                              [default: cdcl]
     --per-property <SECS>     time limit per property
     --total <SECS>            time limit for the whole design
     --lifting <ignore|respect> state-lifting mode (§7-A) [default: ignore]
@@ -40,6 +43,7 @@ struct Cli {
     path: String,
     mode: String,
     threads: usize,
+    backend: BackendChoice,
     per_property: Option<Duration>,
     total: Option<Duration>,
     lifting: Lifting,
@@ -54,6 +58,7 @@ fn parse_args() -> Result<Cli, String> {
         path: String::new(),
         mode: "ja".into(),
         threads: 2,
+        backend: BackendChoice::default(),
         per_property: None,
         total: None,
         lifting: Lifting::Ignore,
@@ -74,6 +79,7 @@ fn parse_args() -> Result<Cli, String> {
             "--validate" => cli.validate = true,
             "--no-reuse" => cli.reuse = false,
             "--mode" => cli.mode = value("--mode")?,
+            "--backend" => cli.backend = value("--backend")?.parse()?,
             "--threads" => {
                 cli.threads = value("--threads")?
                     .parse()
@@ -131,28 +137,30 @@ fn run(cli: &Cli) -> Result<(MultiReport, TransitionSystem), String> {
 
     let mut sep = SeparateOptions::local()
         .lifting(cli.lifting)
-        .reuse(cli.reuse);
+        .reuse(cli.reuse)
+        .backend(cli.backend);
     if let Some(d) = cli.per_property {
         sep = sep.per_property_timeout(d);
     }
     if let Some(d) = cli.total {
         sep = sep.total_timeout(d);
     }
-    let mut joint = JointOptions::new();
+    let mut joint = JointOptions::new().backend(cli.backend);
     if let Some(d) = cli.total {
         joint = joint.total_timeout(d);
     }
+    let global = |mut opts: SeparateOptions| {
+        opts.scope = japrove::core::Scope::Global;
+        opts
+    };
 
     let report = match cli.mode.as_str() {
         "ja" => ja_verify(&sys, &sep),
-        "separate-global" => {
-            let mut opts = sep.clone();
-            opts.scope = japrove::core::Scope::Global;
-            separate_verify(&sys, &opts)
-        }
+        "separate-global" => separate_verify(&sys, &global(sep.clone())),
         "joint" => joint_verify(&sys, &joint),
         "grouped" => grouped_verify(&sys, &GroupingOptions::new().joint(joint)),
         "parallel" => parallel_ja_verify(&sys, cli.threads, &sep),
+        "parallel-global" => parallel_ja_verify(&sys, cli.threads, &global(sep.clone())),
         other => return Err(format!("unknown mode '{other}'")),
     };
     Ok((report, sys))

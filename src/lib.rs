@@ -8,7 +8,9 @@
 //! This facade re-exports the whole stack:
 //!
 //! * [`logic`] — literals, clauses, cubes, CNF, DIMACS,
-//! * [`sat`] — an incremental CDCL SAT solver,
+//! * [`sat`] — incremental SAT solving: the CDCL solver, the
+//!   chronological-backtracking variant, and the [`sat::SatBackend`]
+//!   abstraction the engines select per property,
 //! * [`aig`] — And-Inverter Graphs, AIGER 1.9 I/O, simulation,
 //! * [`tsys`] — transition systems, properties, traces, replay,
 //! * [`ic3`] — IC3/PDR and BMC engines with certificates,

@@ -5,7 +5,7 @@
 use japrove::core::{ja_verify, separate_verify, SeparateOptions};
 use japrove::genbench::FamilyParams;
 use japrove::ic3::{verify_certificate, Bmc, BmcResult, CheckOutcome, Ic3, Ic3Options};
-use japrove::sat::Budget;
+use japrove::sat::{BackendChoice, Budget};
 use japrove::tsys::replay;
 
 fn random_designs() -> Vec<japrove::genbench::GeneratedDesign> {
@@ -58,6 +58,124 @@ fn ic3_agrees_with_bmc_on_every_property() {
                     sys.property(p).name
                 ),
             }
+        }
+    }
+}
+
+#[test]
+fn backend_differential_matrix_agrees_on_every_property() {
+    // Every generated system is checked with every registered SAT
+    // backend; the verdicts must agree, every counterexample must
+    // replay and every certificate must re-verify, whichever backend
+    // produced it.
+    for design in random_designs() {
+        let sys = &design.sys;
+        for p in sys.property_ids() {
+            let mut verdicts: Vec<(BackendChoice, bool)> = Vec::new();
+            for &backend in BackendChoice::ALL {
+                let outcome = Ic3::new(sys, p, Ic3Options::new().backend(backend)).run();
+                match &outcome {
+                    CheckOutcome::Falsified(cex) => {
+                        let r = replay(sys, &cex.trace).unwrap_or_else(|e| {
+                            panic!("{}/{}/{backend}: {e}", sys.name(), sys.property(p).name)
+                        });
+                        assert!(
+                            r.violates_finally(p),
+                            "{}/{}/{backend}: cex does not violate the property",
+                            sys.name(),
+                            sys.property(p).name
+                        );
+                    }
+                    CheckOutcome::Proved(cert) => {
+                        verify_certificate(sys, p, &[], cert).unwrap_or_else(|e| {
+                            panic!("{}/{}/{backend}: {e}", sys.name(), sys.property(p).name)
+                        });
+                    }
+                    CheckOutcome::Unknown(r) => panic!(
+                        "{}/{}/{backend}: unexpected unknown ({r})",
+                        sys.name(),
+                        sys.property(p).name
+                    ),
+                }
+                verdicts.push((backend, outcome.is_proved()));
+            }
+            let (b0, v0) = verdicts[0];
+            for &(b, v) in &verdicts[1..] {
+                assert_eq!(
+                    v0,
+                    v,
+                    "{}/{}: {b0} and {b} disagree",
+                    sys.name(),
+                    sys.property(p).name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bmc_backends_agree_on_depths() {
+    // BMC searches depths in order, so every backend must report the
+    // *same* minimal counterexample depth (or the same absence).
+    for design in random_designs().into_iter().take(3) {
+        let sys = &design.sys;
+        for p in sys.property_ids() {
+            let mut depths: Vec<(BackendChoice, Option<usize>)> = Vec::new();
+            for &backend in BackendChoice::ALL {
+                let mut bmc = Bmc::with_backend(sys, backend);
+                let depth = match bmc.run(&[p], 16, Budget::unlimited()) {
+                    BmcResult::Cex { cex, .. } => Some(cex.depth),
+                    BmcResult::NoCexUpTo(16) => None,
+                    other => panic!("{}/{backend}: {other:?}", sys.property(p).name),
+                };
+                depths.push((backend, depth));
+            }
+            let (b0, d0) = depths[0];
+            for &(b, d) in &depths[1..] {
+                assert_eq!(d0, d, "{}: {b0} vs {b}", sys.property(p).name);
+            }
+        }
+    }
+}
+
+#[test]
+fn driver_verdicts_are_backend_independent() {
+    // The full JA driver (local proofs, clause re-use, spurious-CEX
+    // retry) must reach the same verdicts on every backend, including
+    // a mixed per-property portfolio assignment.
+    for design in random_designs().into_iter().take(3) {
+        let sys = &design.sys;
+        let baseline = ja_verify(sys, &SeparateOptions::local());
+        for &backend in &BackendChoice::ALL[1..] {
+            let report = ja_verify(sys, &SeparateOptions::local().backend(backend));
+            for (a, b) in baseline.results.iter().zip(&report.results) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(a.holds(), b.holds(), "{}/{}/{backend}", sys.name(), a.name);
+                assert_eq!(a.fails(), b.fails(), "{}/{}/{backend}", sys.name(), a.name);
+            }
+        }
+        // Portfolio: round-robin backend assignment over properties.
+        let mut opts = SeparateOptions::local();
+        for (i, p) in sys.property_ids().enumerate() {
+            opts = opts.backend_for(p, BackendChoice::ALL[i % BackendChoice::ALL.len()]);
+        }
+        let portfolio = ja_verify(sys, &opts);
+        for (a, b) in baseline.results.iter().zip(&portfolio.results) {
+            assert_eq!(
+                a.holds(),
+                b.holds(),
+                "{}/{} (portfolio)",
+                sys.name(),
+                a.name
+            );
+            assert_eq!(
+                a.fails(),
+                b.fails(),
+                "{}/{} (portfolio)",
+                sys.name(),
+                a.name
+            );
+            assert_eq!(b.backend, opts.backend_of(b.id));
         }
     }
 }
