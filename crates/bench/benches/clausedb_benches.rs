@@ -1,0 +1,87 @@
+//! Microbenchmarks for the shared clause store (`ClauseDb`).
+//!
+//! `publish` used to scan the whole store per clause (quadratic in the
+//! database size); the literal-signature/occurrence index makes it
+//! near-linear. The three sizes (10², 10³, 10⁴) straddle the range
+//! where the old implementation hit its cliff — with the index, the
+//! per-clause cost must stay flat across them.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use japrove_core::ClauseDb;
+use japrove_logic::{Clause, Var};
+use japrove_rng::SplitMix64;
+
+/// Random sorted clauses of 2–6 literals over a variable space sized
+/// with the clause count, mimicking certificate clauses of a large
+/// design (mostly unrelated, occasional subsumption pairs).
+fn random_clauses(n: usize, seed: u64) -> Vec<Clause> {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let space = (4 * n).max(64) as u64;
+    (0..n)
+        .map(|_| {
+            let len = 2 + (rng.next_u64() % 5) as usize;
+            Clause::from_lits(
+                (0..len).map(|_| Var::new((rng.next_u64() % space) as u32).lit(rng.gen_bool())),
+            )
+        })
+        .collect()
+}
+
+fn bench_publish(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clausedb_publish");
+    group.sample_size(10);
+    for &n in &[100usize, 1_000, 10_000] {
+        let clauses = random_clauses(n, 0xC1A5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &clauses, |b, clauses| {
+            b.iter(|| {
+                let db = ClauseDb::new();
+                db.publish(clauses.iter().cloned())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clausedb_snapshot");
+    group.sample_size(10);
+    for &n in &[100usize, 1_000, 10_000] {
+        let db = ClauseDb::new();
+        db.publish(random_clauses(n, 0x5A47));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
+            b.iter(|| db.snapshot().len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_concurrent_publish(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clausedb_publish_4workers");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000] {
+        let chunks: Vec<Vec<Clause>> = (0..4u64)
+            .map(|t| random_clauses(n / 4, 0xBEEF ^ t))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &chunks, |b, chunks| {
+            b.iter(|| {
+                let db = ClauseDb::new();
+                std::thread::scope(|s| {
+                    for chunk in chunks {
+                        let db = db.clone();
+                        s.spawn(move || db.publish(chunk.iter().cloned()));
+                    }
+                });
+                db.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_publish,
+    bench_snapshot,
+    bench_concurrent_publish
+);
+criterion_main!(benches);

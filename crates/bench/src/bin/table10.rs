@@ -9,16 +9,29 @@
 //!
 //! Every sampled property is solved once per registered SAT backend,
 //! so the table doubles as a per-backend timing comparison for the
-//! portfolio assignment.
+//! portfolio assignment. `--json <path>` additionally writes the rows
+//! in the CI-friendly schema shared with `parallel_scaling`.
 
-use japrove_bench::{fmt_time, Table};
+use japrove_bench::{fmt_time, write_json, Json, Table};
 use japrove_core::Scope;
 use japrove_core::{local_assumptions, ClauseDb, SeparateOptions};
 use japrove_genbench::probe_spec;
 use japrove_sat::BackendChoice;
 use japrove_tsys::PropertyId;
+use std::process::ExitCode;
 
-fn main() {
+fn main() -> ExitCode {
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match (arg.as_str(), args.next()) {
+            ("--json", Some(p)) => json_path = Some(p),
+            _ => {
+                eprintln!("usage: table10 [--json <path>]");
+                return ExitCode::from(2);
+            }
+        }
+    }
     let design = probe_spec().generate();
     let sys = &design.sys;
     let n = sys.num_properties();
@@ -44,6 +57,7 @@ fn main() {
     );
     let db = ClauseDb::new(); // never published to: no clause exchange
     let assumed = local_assumptions(sys);
+    let mut rows: Vec<Json> = Vec::new();
     for &backend in BackendChoice::ALL {
         let mut max_gf = 0usize;
         let mut max_lf = 0usize;
@@ -69,6 +83,14 @@ fn main() {
             assert_eq!(global.backend, backend);
             max_gf = max_gf.max(global.frames);
             max_lf = max_lf.max(local.frames);
+            rows.push(Json::obj([
+                ("prop_index", Json::int(i as u64)),
+                ("backend", Json::str(backend.name())),
+                ("global_frames", Json::int(global.frames as u64)),
+                ("global_seconds", Json::num(global.time.as_secs_f64())),
+                ("local_frames", Json::int(local.frames as u64)),
+                ("local_seconds", Json::num(local.time.as_secs_f64())),
+            ]));
             table.row(&[
                 &i.to_string(),
                 backend.name(),
@@ -92,4 +114,18 @@ fn main() {
         "(design has {} properties; local proofs converge almost immediately on every backend)",
         n
     );
+    if let Some(path) = json_path {
+        let doc = Json::obj([
+            ("bench", Json::str("table10")),
+            ("design", Json::str(sys.name())),
+            ("properties", Json::int(n as u64)),
+            ("rows", Json::Arr(rows)),
+        ]);
+        if let Err(e) = write_json(&path, &doc) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
 }

@@ -103,6 +103,146 @@ impl Table {
     }
 }
 
+/// A minimal JSON value with a serializer, so the bench binaries can
+/// emit machine-readable results (`--json <path>`) without external
+/// dependencies. Strings are escaped per RFC 8259; numbers must be
+/// finite.
+///
+/// # Examples
+///
+/// ```
+/// use japrove_bench::Json;
+/// let v = Json::obj([
+///     ("name", Json::str("run")),
+///     ("threads", Json::int(8)),
+///     ("seconds", Json::num(0.25)),
+///     ("rows", Json::arr([Json::bool(true)])),
+/// ]);
+/// assert_eq!(
+///     v.to_string(),
+///     r#"{"name":"run","threads":8,"seconds":0.25,"rows":[true]}"#
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// A string.
+    Str(String),
+    /// A finite floating-point number.
+    Num(f64),
+    /// An integer (kept exact; `Num` would round large values).
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// A finite number value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN or infinity (not representable in JSON).
+    pub fn num(x: f64) -> Json {
+        assert!(x.is_finite(), "JSON numbers must be finite");
+        Json::Num(x)
+    }
+
+    /// An integer value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` exceeds `i64::MAX`.
+    pub fn int(x: impl TryInto<i64>) -> Json {
+        Json::Int(x.try_into().ok().expect("integer out of i64 range"))
+    }
+
+    /// A boolean value.
+    pub fn bool(b: bool) -> Json {
+        Json::Bool(b)
+    }
+
+    /// An array value.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// An object value with the given key/value pairs.
+    pub fn obj<'k>(pairs: impl IntoIterator<Item = (&'k str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Appends a pair to an object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn push(&mut self, key: &str, value: Json) {
+        match self {
+            Json::Obj(pairs) => pairs.push((key.to_string(), value)),
+            _ => panic!("Json::push on a non-object"),
+        }
+    }
+}
+
+impl std::fmt::Display for Json {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Json::Str(s) => {
+                f.write_str("\"")?;
+                for c in s.chars() {
+                    match c {
+                        '"' => f.write_str("\\\"")?,
+                        '\\' => f.write_str("\\\\")?,
+                        '\n' => f.write_str("\\n")?,
+                        '\r' => f.write_str("\\r")?,
+                        '\t' => f.write_str("\\t")?,
+                        c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+                        c => write!(f, "{c}")?,
+                    }
+                }
+                f.write_str("\"")
+            }
+            Json::Num(x) => write!(f, "{x}"),
+            Json::Int(x) => write!(f, "{x}"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{}:{v}", Json::Str(k.clone()))?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Writes a JSON document to `path` (with a trailing newline, so the
+/// committed baselines diff cleanly).
+pub fn write_json(path: &str, value: &Json) -> std::io::Result<()> {
+    std::fs::write(path, format!("{value}\n"))
+}
+
 /// Scaled-down stand-ins for the paper's wall-clock limits.
 pub mod limits {
     use std::time::Duration;
@@ -147,5 +287,34 @@ mod tests {
     fn time_formats() {
         assert_eq!(fmt_time(Duration::from_millis(10)), "0.01 s");
         assert_eq!(fmt_time(Duration::from_secs(120)), "120 s");
+    }
+
+    #[test]
+    fn json_escapes_and_nests() {
+        let v = Json::obj([
+            ("s", Json::str("a\"b\\c\nd")),
+            ("n", Json::num(1.5)),
+            ("i", Json::int(42u32)),
+            ("b", Json::bool(false)),
+            ("a", Json::arr([Json::int(1), Json::int(2)])),
+            ("o", Json::obj([("k", Json::str("v"))])),
+        ]);
+        assert_eq!(
+            v.to_string(),
+            r#"{"s":"a\"b\\c\nd","n":1.5,"i":42,"b":false,"a":[1,2],"o":{"k":"v"}}"#
+        );
+    }
+
+    #[test]
+    fn json_push_extends_objects() {
+        let mut v = Json::obj([]);
+        v.push("x", Json::int(1));
+        assert_eq!(v.to_string(), r#"{"x":1}"#);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn json_rejects_nan() {
+        let _ = Json::num(f64::NAN);
     }
 }

@@ -73,8 +73,9 @@ impl Default for GroupingOptions {
 }
 
 /// The latch support of each property (its sequential cone of
-/// influence restricted to latches), as sorted index lists.
-fn latch_supports(sys: &TransitionSystem) -> Vec<Vec<usize>> {
+/// influence restricted to latches), as sorted index lists. The
+/// parallel driver uses the support sizes to schedule hardest-first.
+pub(crate) fn latch_supports(sys: &TransitionSystem) -> Vec<Vec<usize>> {
     let aig = sys.aig();
     sys.properties()
         .iter()

@@ -58,7 +58,7 @@ mod separate;
 pub use cluster::{cluster_properties, grouped_verify, GroupingOptions};
 pub use debug_set::{check_local_global_agreement, validate_debugging_set, verify_reuse_soundness};
 pub use joint::{joint_verify, JointOptions};
-pub use parallel::parallel_ja_verify;
+pub use parallel::{parallel_ja_verify, parallel_ja_verify_with, ParallelMode};
 pub use report::{MultiReport, PropertyResult, Scope};
 pub use reuse::ClauseDb;
 pub use separate::{

@@ -12,14 +12,134 @@
 //! [`Scope::Global`] a parallel version of the separate-global
 //! baseline, and the per-property backend overrides let a portfolio
 //! run different SAT backends side by side.
+//!
+//! # Scheduling and incrementality
+//!
+//! The default mode ([`ParallelMode::Incremental`]) encodes the design
+//! **once**, shares the encoding across workers, and gives every
+//! worker a warm solver pool so consecutive properties skip the
+//! per-property encode-and-reload cost entirely. Jobs are ordered
+//! hardest-first (by the size of each property's sequential
+//! cone of influence, from the clustering module) and dealt into
+//! per-worker deques; a worker that runs dry **steals** the back half
+//! of another worker's deque, so one long proof cannot strand the
+//! queue behind it. [`ParallelMode::ColdFifo`] preserves the pre-
+//! incremental driver — fresh encoding and solvers per property,
+//! declaration-order FIFO dispatch — as the measurable baseline for
+//! `parallel_scaling`.
 
-use crate::separate::{check_one, local_assumptions};
+use crate::cluster::latch_supports;
+use crate::separate::{check_one, local_assumptions, CtxPool};
 use crate::ClauseDb;
-use crate::{MultiReport, Scope, SeparateOptions};
-use japrove_ic3::CheckOutcome;
+use crate::{MultiReport, PropertyResult, Scope, SeparateOptions};
+use japrove_ic3::{CheckOutcome, TsEncoding};
 use japrove_tsys::{PropertyId, TransitionSystem};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
+
+/// Scheduling/warm-start strategy of [`parallel_ja_verify_with`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ParallelMode {
+    /// Shared encoding, warm per-worker solvers, hardest-first
+    /// work-stealing dispatch. The default.
+    #[default]
+    Incremental,
+    /// The pre-incremental reference driver: every property re-encodes
+    /// the design into fresh solvers and jobs are handed out in
+    /// declaration order by a ticket counter. Kept for benchmarking
+    /// (`parallel_scaling` reports the speedup of the default mode
+    /// over this one) and as a bisection aid.
+    ColdFifo,
+}
+
+/// Hardest-first work-stealing dispatcher over job slots `0..n`.
+///
+/// Jobs are dealt round-robin (in priority order) into one deque per
+/// worker; an idle worker steals the back half — the *easiest* pending
+/// work — of the first non-empty victim deque. Moves happen with both
+/// deques locked (in index order, so concurrent steals cannot
+/// deadlock), so every job is visible in exactly one deque at any
+/// moment and a popped job is exclusively owned and runs exactly once.
+/// A count of still-queued jobs prevents a worker that scans during
+/// someone else's steal from mistaking the transfer for exhaustion.
+struct Dispatcher {
+    queues: Vec<Mutex<VecDeque<usize>>>,
+    /// Jobs dealt but not yet popped for execution. `Relaxed` is
+    /// enough: the counter only decreases, and a stale (higher) read
+    /// merely causes one more rescan — never a premature exit.
+    queued: AtomicUsize,
+}
+
+impl Dispatcher {
+    /// Deals `jobs` (already priority-sorted) across `workers` deques.
+    fn new(jobs: &[usize], workers: usize) -> Self {
+        let mut queues: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for (i, &job) in jobs.iter().enumerate() {
+            queues[i % workers].push_back(job);
+        }
+        Dispatcher {
+            queues: queues.into_iter().map(Mutex::new).collect(),
+            queued: AtomicUsize::new(jobs.len()),
+        }
+    }
+
+    fn lock(&self, i: usize) -> MutexGuard<'_, VecDeque<usize>> {
+        self.queues[i].lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The next job for worker `me`: own deque front first (its hardest
+    /// remaining job), then stolen work. `None` once no job is queued
+    /// anywhere — any still-unfinished job is then being executed by
+    /// the worker that popped it.
+    fn pop(&self, me: usize) -> Option<usize> {
+        loop {
+            if let Some(j) = self.lock(me).pop_front() {
+                self.queued.fetch_sub(1, Ordering::Relaxed);
+                return Some(j);
+            }
+            if self.steal_into(me) {
+                continue;
+            }
+            if self.queued.load(Ordering::Relaxed) == 0 {
+                return None;
+            }
+            // Jobs exist but every deque looked empty: a concurrent
+            // steal is mid-transfer. Yield and rescan.
+            std::thread::yield_now();
+        }
+    }
+
+    /// Moves the back half of the first non-empty victim deque into
+    /// `me`'s deque; `false` if every other deque was empty.
+    fn steal_into(&self, me: usize) -> bool {
+        let n = self.queues.len();
+        for off in 1..n {
+            let victim = (me + off) % n;
+            // Both locks in index order: deadlock-free, and the jobs
+            // are never invisible between deques.
+            let (mut mine, mut theirs) = if me < victim {
+                let mine = self.lock(me);
+                (mine, self.lock(victim))
+            } else {
+                let theirs = self.lock(victim);
+                (self.lock(me), theirs)
+            };
+            let take = theirs.len().div_ceil(2);
+            if take == 0 {
+                continue;
+            }
+            // pop_back yields easiest-first; reverse so the hardest
+            // stolen job sits at our front, keeping the hardest-first
+            // discipline within the stolen batch.
+            let stolen: Vec<usize> = (0..take).filter_map(|_| theirs.pop_back()).collect();
+            mine.extend(stolen.into_iter().rev());
+            return true;
+        }
+        false
+    }
+}
 
 /// Runs separate verification with `threads` worker threads.
 ///
@@ -27,7 +147,8 @@ use std::time::Instant;
 /// same options (same verdicts) — in particular [`Scope::Global`] is
 /// honored, not silently downgraded to local proofs; clause re-use
 /// becomes best-effort: each property sees the clauses published
-/// before its own run started.
+/// before its own run started, plus any it picks up from the shared
+/// store while running.
 ///
 /// # Panics
 ///
@@ -55,6 +176,16 @@ pub fn parallel_ja_verify(
     threads: usize,
     opts: &SeparateOptions,
 ) -> MultiReport {
+    parallel_ja_verify_with(sys, threads, opts, ParallelMode::Incremental)
+}
+
+/// [`parallel_ja_verify`] with an explicit [`ParallelMode`].
+pub fn parallel_ja_verify_with(
+    sys: &TransitionSystem,
+    threads: usize,
+    opts: &SeparateOptions,
+    mode: ParallelMode,
+) -> MultiReport {
     assert!(threads > 0, "need at least one worker thread");
     let started = Instant::now();
     let deadline = opts.total.map(|d| Instant::now() + d);
@@ -67,49 +198,242 @@ pub fn parallel_ja_verify(
         .clone()
         .unwrap_or_else(|| sys.property_ids().collect());
     let db = ClauseDb::new();
-    let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<crate::PropertyResult>> = vec![None; order.len()];
+    // No `.max(1)` guard: with zero properties there is nothing to do,
+    // so spawning zero workers is exactly right.
+    let workers = threads.min(order.len());
+    let mut slots: Vec<Option<PropertyResult>> = vec![None; order.len()];
 
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for _ in 0..threads.min(order.len().max(1)) {
-            let order = &order;
-            let assumed = &assumed;
-            let next = &next;
-            let db = db.clone();
-            handles.push(scope.spawn(move || {
-                let mut mine = Vec::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::SeqCst);
-                    if i >= order.len() {
-                        return mine;
-                    }
-                    let result = check_one(sys, order[i], assumed, &db, opts, deadline);
-                    if opts.reuse {
-                        if let CheckOutcome::Proved(cert) = &result.outcome {
-                            db.publish(cert.clauses.iter().cloned());
-                        }
-                    }
-                    mine.push((i, result));
-                }
-            }));
+    let finished = match mode {
+        ParallelMode::Incremental => {
+            run_incremental(sys, workers, opts, &assumed, &order, &db, deadline)
         }
-        for h in handles {
-            for (i, result) in h.join().expect("worker thread panicked") {
-                slots[i] = Some(result);
-            }
+        ParallelMode::ColdFifo => {
+            run_cold_fifo(sys, workers, opts, &assumed, &order, &db, deadline)
         }
-    });
-
-    let method = match opts.scope {
-        Scope::Local => format!("parallel-ja x{threads}"),
-        Scope::Global => format!("parallel-separate-global x{threads}"),
     };
-    let mut report = MultiReport::new(sys.name(), method);
+    for (i, result) in finished {
+        slots[i] = Some(result);
+    }
+
+    let scope_label = match opts.scope {
+        Scope::Local => "parallel-ja",
+        Scope::Global => "parallel-separate-global",
+    };
+    let mode_label = match mode {
+        ParallelMode::Incremental => "",
+        ParallelMode::ColdFifo => " [cold-fifo]",
+    };
+    let mut report = MultiReport::new(sys.name(), format!("{scope_label} x{threads}{mode_label}"));
     report.results = slots
         .into_iter()
         .map(|s| s.expect("every property processed"))
         .collect();
     report.total_time = started.elapsed();
     report
+}
+
+/// The incremental driver: one shared encoding, warm per-worker solver
+/// pools, hardest-first work-stealing dispatch.
+fn run_incremental(
+    sys: &TransitionSystem,
+    workers: usize,
+    opts: &SeparateOptions,
+    assumed: &[PropertyId],
+    order: &[PropertyId],
+    db: &ClauseDb,
+    deadline: Option<Instant>,
+) -> Vec<(usize, PropertyResult)> {
+    if workers == 0 {
+        return Vec::new();
+    }
+    // Encode once; every worker's pool shares this.
+    let enc = Arc::new(TsEncoding::new(sys));
+    // Hardest first: larger sequential cones tend to need deeper
+    // proofs, so starting them early keeps the tail short. Ties keep
+    // declaration order for determinism.
+    let supports = latch_supports(sys);
+    let mut jobs: Vec<usize> = (0..order.len()).collect();
+    jobs.sort_by_key(|&pos| std::cmp::Reverse(supports[order[pos].index()].len()));
+    let dispatcher = Dispatcher::new(&jobs, workers);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let dispatcher = &dispatcher;
+            let enc = Arc::clone(&enc);
+            let db = db.clone();
+            handles.push(scope.spawn(move || {
+                let mut pool = CtxPool::with_encoding(enc);
+                let mut mine = Vec::new();
+                while let Some(i) = dispatcher.pop(w) {
+                    let result =
+                        check_one(sys, order[i], assumed, &db, opts, deadline, &mut pool, true);
+                    publish_if_proved(&db, opts, &result);
+                    mine.push((i, result));
+                }
+                mine
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+}
+
+/// The pre-incremental reference driver: FIFO ticket dispatch, fresh
+/// encoding and solvers per property.
+fn run_cold_fifo(
+    sys: &TransitionSystem,
+    workers: usize,
+    opts: &SeparateOptions,
+    assumed: &[PropertyId],
+    order: &[PropertyId],
+    db: &ClauseDb,
+    deadline: Option<Instant>,
+) -> Vec<(usize, PropertyResult)> {
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..workers {
+            let next = &next;
+            let db = db.clone();
+            handles.push(scope.spawn(move || {
+                let mut mine = Vec::new();
+                loop {
+                    // A pure ticket counter: each worker only consumes
+                    // the index it drew, and no other memory is
+                    // published through the counter, so `Relaxed` is
+                    // sound — `fetch_add` is still atomic, every index
+                    // is handed out exactly once.
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= order.len() {
+                        return mine;
+                    }
+                    // A cold pool per property: re-encode, fresh
+                    // solvers, no mid-run refresh — faithful to the
+                    // pre-incremental driver this mode benchmarks.
+                    let mut pool = CtxPool::new(sys);
+                    let result = check_one(
+                        sys, order[i], assumed, &db, opts, deadline, &mut pool, false,
+                    );
+                    publish_if_proved(&db, opts, &result);
+                    mine.push((i, result));
+                }
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+}
+
+fn publish_if_proved(db: &ClauseDb, opts: &SeparateOptions, result: &PropertyResult) {
+    if opts.reuse {
+        if let CheckOutcome::Proved(cert) = &result.outcome {
+            db.publish(cert.clauses.iter().cloned());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use japrove_aig::Aig;
+    use japrove_tsys::Word;
+
+    fn many_counters(n: usize) -> TransitionSystem {
+        let mut aig = Aig::new();
+        let mut goods = Vec::new();
+        for i in 0..n {
+            let w = Word::latches(&mut aig, 3 + (i % 3), 0);
+            let next = w.increment(&mut aig);
+            w.set_next(&mut aig, &next);
+            // Alternate true and false properties of varying depth.
+            let bound = if i % 3 == 0 {
+                1 << (3 + i % 3)
+            } else {
+                3 + i as u64 % 5
+            };
+            goods.push(w.lt_const(&mut aig, bound));
+        }
+        let mut sys = TransitionSystem::new("many", aig);
+        for (i, g) in goods.into_iter().enumerate() {
+            sys.add_property(format!("p{i}"), g);
+        }
+        sys
+    }
+
+    #[test]
+    fn dispatcher_hands_out_every_job_exactly_once() {
+        for workers in [1usize, 2, 5] {
+            let jobs: Vec<usize> = (0..23).collect();
+            let dispatcher = Dispatcher::new(&jobs, workers);
+            let seen = Mutex::new(Vec::new());
+            std::thread::scope(|s| {
+                for w in 0..workers {
+                    let dispatcher = &dispatcher;
+                    let seen = &seen;
+                    s.spawn(move || {
+                        while let Some(j) = dispatcher.pop(w) {
+                            seen.lock().unwrap().push(j);
+                        }
+                    });
+                }
+            });
+            let mut seen = seen.into_inner().unwrap();
+            seen.sort_unstable();
+            assert_eq!(seen, jobs, "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn stealing_drains_a_stacked_queue() {
+        // All jobs dealt to worker 0's deque; worker 1 must still get
+        // work via stealing.
+        let dispatcher = Dispatcher::new(&(0..10).collect::<Vec<_>>(), 1);
+        // Manually extend to a second, empty queue.
+        let dispatcher = Dispatcher {
+            queues: dispatcher
+                .queues
+                .into_iter()
+                .chain([Mutex::new(VecDeque::new())])
+                .collect(),
+            queued: dispatcher.queued,
+        };
+        let mut got = Vec::new();
+        while let Some(j) = dispatcher.pop(1) {
+            got.push(j);
+        }
+        assert_eq!(got.len(), 10, "thief alone drains the victim queue");
+    }
+
+    #[test]
+    fn modes_agree_on_verdicts() {
+        let sys = many_counters(12);
+        let a = parallel_ja_verify_with(
+            &sys,
+            3,
+            &SeparateOptions::local(),
+            ParallelMode::Incremental,
+        );
+        let b = parallel_ja_verify_with(&sys, 3, &SeparateOptions::local(), ParallelMode::ColdFifo);
+        assert!(b.method.contains("cold-fifo"), "{}", b.method);
+        for (x, y) in a.results.iter().zip(&b.results) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.holds(), y.holds(), "{}", x.name);
+            assert_eq!(x.fails(), y.fails(), "{}", x.name);
+        }
+    }
+
+    #[test]
+    fn zero_properties_yield_an_empty_report() {
+        let mut aig = Aig::new();
+        let l = aig.add_latch(false);
+        aig.set_next(l, l);
+        let sys = TransitionSystem::new("empty", aig);
+        let report = parallel_ja_verify(&sys, 4, &SeparateOptions::local());
+        assert!(report.results.is_empty());
+    }
 }

@@ -6,14 +6,177 @@
 //! its own `G_P2`. Every clause in the store holds in all states
 //! reachable under the (projected) transition relation, which is
 //! exactly the soundness condition for seeding IC3 frames (§6-B).
+//!
+//! # Performance
+//!
+//! The store is built for the parallel driver's hot path, where every
+//! worker publishes certificates and snapshots concurrently:
+//!
+//! * clauses are spread over [`NUM_SHARDS`] independently locked
+//!   shards, so publishers serialize only per shard instead of on one
+//!   global mutex;
+//! * each shard keeps a **literal-occurrence index** plus a 64-bit
+//!   **literal signature** per clause, turning both subsumption
+//!   directions from full scans into a few candidate probes — the
+//!   original `Vec` store made `publish` quadratic in the database
+//!   size (see `clausedb_benches` in the bench crate);
+//! * a monotone [`ClauseDb::version`] addition cursor plus an
+//!   append-only log let long-running engines pull just the clauses
+//!   published since their last poll ([`ClauseDb::clauses_since`],
+//!   the O(delta) path behind the [`ClauseSource`] impl) instead of
+//!   re-cloning the whole store.
+//!
+//! Sequential semantics are unchanged: a published clause is dropped
+//! if some stored clause subsumes it, and evicts every stored clause
+//! it subsumes. Under concurrent publishes, the home shard (where a
+//! clause is inserted) is re-checked under a single lock, so an
+//! *identical* clause can never be stored twice — identical clauses
+//! share a home shard. Two *distinct* clauses where one subsumes the
+//! other can race past each other's cross-shard checks and coexist
+//! until a later publish covers the weaker one — harmless, because
+//! every stored clause is sound on its own.
 
+use japrove_ic3::ClauseSource;
 use japrove_logic::Clause;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Number of independently locked shards. A small power of two: enough
+/// to decongest an 8-worker driver, cheap to scan for snapshots.
+const NUM_SHARDS: usize = 8;
+
+/// A 64-bit Bloom-style literal signature: bit `h(l)` is set for every
+/// literal `l` of the clause. `sig(a) & !sig(b) != 0` proves that `a`
+/// contains a literal `b` lacks, i.e. `a` cannot subsume `b`.
+fn signature(clause: &Clause) -> u64 {
+    clause.iter().fold(0u64, |sig, &l| {
+        sig | 1u64 << ((l.code() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 58)
+    })
+}
+
+/// One lock's worth of clauses plus its indexes. Slots are tombstoned
+/// on eviction (`None`) and compacted once the dead outnumber the
+/// live, so occurrence lists stay valid without per-eviction cleanup.
+#[derive(Debug, Default)]
+struct Shard {
+    clauses: Vec<Option<Clause>>,
+    sigs: Vec<u64>,
+    /// Literal code → slots of clauses containing that literal.
+    occur: HashMap<u32, Vec<u32>>,
+    live: usize,
+}
+
+impl Shard {
+    /// `true` if some stored clause subsumes `clause`. A subsuming
+    /// clause's literals are all literals of `clause`, so it appears in
+    /// the occurrence list of each of them — the union of those lists
+    /// covers every candidate.
+    fn subsumes_new(&self, clause: &Clause, sig: u64) -> bool {
+        clause.iter().any(|l| {
+            self.occur.get(&l.code()).is_some_and(|slots| {
+                slots.iter().any(|&s| {
+                    self.sigs[s as usize] & !sig == 0
+                        && self.clauses[s as usize]
+                            .as_ref()
+                            .is_some_and(|c| c.len() <= clause.len() && c.subsumes_sorted(clause))
+                })
+            })
+        })
+    }
+
+    /// Evicts every stored clause that `clause` subsumes. A subsumed
+    /// clause contains *all* literals of `clause`, so probing the
+    /// occurrence list of any single literal (the rarest one) suffices.
+    fn evict_subsumed(&mut self, clause: &Clause, sig: u64) {
+        let Some(probe) = clause
+            .iter()
+            .min_by_key(|l| self.occur.get(&l.code()).map_or(0, Vec::len))
+        else {
+            return; // the empty clause subsumes everything, but is never published
+        };
+        let slots = match self.occur.get(&probe.code()) {
+            Some(slots) => slots.clone(),
+            None => return,
+        };
+        for s in slots {
+            let keep = match &self.clauses[s as usize] {
+                Some(c) => {
+                    sig & !self.sigs[s as usize] != 0
+                        || clause.len() > c.len()
+                        || !clause.subsumes_sorted(c)
+                }
+                None => true,
+            };
+            if !keep {
+                self.clauses[s as usize] = None;
+                self.live -= 1;
+            }
+        }
+        self.maybe_compact();
+    }
+
+    fn insert(&mut self, clause: Clause, sig: u64) {
+        let slot = self.clauses.len() as u32;
+        for &l in clause.iter() {
+            self.occur.entry(l.code()).or_default().push(slot);
+        }
+        self.clauses.push(Some(clause));
+        self.sigs.push(sig);
+        self.live += 1;
+    }
+
+    /// Rebuilds the slot vectors once tombstones outnumber live
+    /// clauses, keeping occurrence lists short.
+    fn maybe_compact(&mut self) {
+        if self.clauses.len() < 32 || self.live * 2 > self.clauses.len() {
+            return;
+        }
+        let old = std::mem::take(&mut self.clauses);
+        self.sigs.clear();
+        self.occur.clear();
+        self.live = 0;
+        for clause in old.into_iter().flatten() {
+            let sig = signature(&clause);
+            self.insert(clause, sig);
+        }
+    }
+}
+
+/// Cap on the addition log. Beyond it the oldest half is dropped
+/// (advancing `base`), so the log cannot grow unboundedly past the
+/// live store on eviction-heavy workloads. Readers whose cursor falls
+/// behind the compacted window simply miss those mid-run additions —
+/// clause re-use is best-effort, so that only costs redundant work,
+/// never soundness.
+const LOG_CAP: usize = 1 << 15;
+
+/// The append-only addition log behind [`ClauseDb::clauses_since`].
+/// `base` counts additions that were logged before the last
+/// [`ClauseDb::clear`] or compaction, so cursors stay monotone.
+#[derive(Debug, Default)]
+struct AddLog {
+    base: u64,
+    clauses: Vec<Clause>,
+}
+
+#[derive(Debug, Default)]
+struct DbInner {
+    shards: [Mutex<Shard>; NUM_SHARDS],
+    /// Every clause ever added, in addition order; the delta feed for
+    /// mid-run refreshes (evictions are deliberately not reflected —
+    /// a subsumed clause a reader already holds is merely redundant).
+    log: Mutex<AddLog>,
+    /// Total clauses ever added: the monotone cursor readers poll.
+    version: AtomicU64,
+}
 
 /// A shared, thread-safe store of strengthening clauses.
 ///
 /// Clones share the same underlying store, so the sequential and the
-/// parallel JA drivers use the same type.
+/// parallel JA drivers use the same type. The store implements
+/// [`ClauseSource`], so engines can refresh their imported clauses
+/// mid-run with [`japrove_ic3::SolverCtx::check`].
 ///
 /// # Examples
 ///
@@ -29,7 +192,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct ClauseDb {
-    clauses: Arc<Mutex<Vec<Clause>>>,
+    inner: Arc<DbInner>,
 }
 
 impl ClauseDb {
@@ -38,28 +201,65 @@ impl ClauseDb {
         ClauseDb::default()
     }
 
-    /// Locks the store; a panic while holding the lock cannot corrupt
-    /// the clause vector, so poisoning is safely ignored.
-    fn lock(&self) -> MutexGuard<'_, Vec<Clause>> {
-        self.clauses.lock().unwrap_or_else(|e| e.into_inner())
+    /// Locks one shard; a panic while holding the lock cannot corrupt
+    /// the shard, so poisoning is safely ignored.
+    fn lock(&self, i: usize) -> MutexGuard<'_, Shard> {
+        self.inner.shards[i]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The home shard of a clause: a hash of its (normalized) literals.
+    fn shard_of(clause: &Clause) -> usize {
+        let h = clause.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &l| {
+            (h ^ l.code() as u64).wrapping_mul(0x100_0000_01b3)
+        });
+        (h % NUM_SHARDS as u64) as usize
     }
 
     /// Appends clauses, dropping duplicates and clauses subsumed by an
     /// existing entry. Returns how many were actually added.
     pub fn publish<I: IntoIterator<Item = Clause>>(&self, clauses: I) -> usize {
-        let mut store = self.lock();
         let mut added = 0;
         for clause in clauses {
             let normalized = match clause.normalized() {
                 Some(n) => n,
                 None => continue, // tautology carries no information
             };
-            if store.iter().any(|c| c.subsumes_sorted(&normalized)) {
+            let sig = signature(&normalized);
+            let home = ClauseDb::shard_of(&normalized);
+            // Check and evict in the *other* shards first, one lock at
+            // a time. The home shard is handled last, atomically:
+            // identical clauses hash to the same home shard, so the
+            // re-check under its lock makes duplicate inserts
+            // impossible even under concurrent publishes.
+            if (0..NUM_SHARDS)
+                .filter(|&i| i != home)
+                .any(|i| self.lock(i).subsumes_new(&normalized, sig))
+            {
                 continue;
             }
-            // Remove entries the new clause subsumes.
-            store.retain(|c| !normalized.subsumes_sorted(c));
-            store.push(normalized);
+            for i in (0..NUM_SHARDS).filter(|&i| i != home) {
+                self.lock(i).evict_subsumed(&normalized, sig);
+            }
+            {
+                let mut shard = self.lock(home);
+                if shard.subsumes_new(&normalized, sig) {
+                    continue;
+                }
+                shard.evict_subsumed(&normalized, sig);
+                shard.insert(normalized.clone(), sig);
+            }
+            {
+                let mut log = self.inner.log.lock().unwrap_or_else(|e| e.into_inner());
+                log.clauses.push(normalized);
+                if log.clauses.len() > LOG_CAP {
+                    let drop = log.clauses.len() / 2;
+                    log.clauses.drain(..drop);
+                    log.base += drop as u64;
+                }
+            }
+            self.inner.version.fetch_add(1, Ordering::Release);
             added += 1;
         }
         added
@@ -67,22 +267,67 @@ impl ClauseDb {
 
     /// A snapshot of the current clauses.
     pub fn snapshot(&self) -> Vec<Clause> {
-        self.lock().clone()
+        let mut out = Vec::new();
+        for i in 0..NUM_SHARDS {
+            out.extend(self.lock(i).clauses.iter().flatten().cloned());
+        }
+        out
+    }
+
+    /// The monotone addition cursor: the number of clauses ever added.
+    /// Poll this (cheap) before paying for a [`ClauseDb::snapshot`] or
+    /// [`ClauseDb::clauses_since`].
+    pub fn version(&self) -> u64 {
+        self.inner.version.load(Ordering::Acquire)
+    }
+
+    /// The clauses added after cursor `since` (a previous
+    /// [`ClauseDb::version`] reading), plus the new cursor. This is the
+    /// O(delta) refresh path engines use mid-run; a cursor from before
+    /// the last [`ClauseDb::clear`] or log compaction re-delivers
+    /// everything still logged, which readers deduplicate.
+    pub fn clauses_since(&self, since: u64) -> (Vec<Clause>, u64) {
+        let log = self.inner.log.lock().unwrap_or_else(|e| e.into_inner());
+        let skip = since.saturating_sub(log.base) as usize;
+        let fresh = log.clauses.iter().skip(skip).cloned().collect();
+        (fresh, log.base + log.clauses.len() as u64)
     }
 
     /// Number of stored clauses.
     pub fn len(&self) -> usize {
-        self.lock().len()
+        (0..NUM_SHARDS).map(|i| self.lock(i).live).sum()
     }
 
     /// `true` if the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.lock().is_empty()
+        self.len() == 0
     }
 
-    /// Clears the store.
+    /// Clears the store. The addition cursor stays monotone (readers
+    /// holding an old cursor simply see no new clauses until the next
+    /// publish).
     pub fn clear(&self) {
-        self.lock().clear();
+        for i in 0..NUM_SHARDS {
+            let mut shard = self.lock(i);
+            *shard = Shard::default();
+        }
+        let mut log = self.inner.log.lock().unwrap_or_else(|e| e.into_inner());
+        log.base += log.clauses.len() as u64;
+        log.clauses.clear();
+    }
+}
+
+impl ClauseSource for ClauseDb {
+    fn version(&self) -> u64 {
+        ClauseDb::version(self)
+    }
+
+    fn clauses(&self) -> Vec<Clause> {
+        self.snapshot()
+    }
+
+    fn clauses_since(&self, since: u64) -> (Vec<Clause>, u64) {
+        ClauseDb::clauses_since(self, since)
     }
 }
 
@@ -130,6 +375,144 @@ mod tests {
         assert_eq!(other.len(), 1);
         other.clear();
         assert!(db.is_empty());
+    }
+
+    #[test]
+    fn version_moves_only_on_addition() {
+        let db = ClauseDb::new();
+        let v0 = db.version();
+        db.publish([clause(&[(0, true), (1, true)])]);
+        let v1 = db.version();
+        assert!(v1 > v0);
+        // Subsumed publish: no change, no cursor move.
+        db.publish([clause(&[(0, true), (1, true), (2, true)])]);
+        assert_eq!(db.version(), v1);
+        // Clearing does not rewind the cursor.
+        db.clear();
+        assert_eq!(db.version(), v1);
+        db.publish([clause(&[(5, false)])]);
+        assert!(db.version() > v1);
+    }
+
+    #[test]
+    fn clauses_since_returns_only_the_delta() {
+        let db = ClauseDb::new();
+        db.publish([clause(&[(0, true)]), clause(&[(1, false)])]);
+        let (all, cursor) = db.clauses_since(0);
+        assert_eq!(all.len(), 2);
+        assert_eq!(cursor, db.version());
+        let (none, same) = db.clauses_since(cursor);
+        assert!(none.is_empty());
+        assert_eq!(same, cursor);
+        db.publish([clause(&[(2, true)])]);
+        let (fresh, next) = db.clauses_since(cursor);
+        assert_eq!(fresh, vec![clause(&[(2, true)])]);
+        assert!(next > cursor);
+        // A pre-clear cursor re-delivers whatever is still logged.
+        db.clear();
+        db.publish([clause(&[(3, true)])]);
+        let (after_clear, _) = db.clauses_since(0);
+        assert_eq!(after_clear, vec![clause(&[(3, true)])]);
+    }
+
+    #[test]
+    fn addition_log_is_capped() {
+        // 40k distinct unit clauses: the store keeps them all, but the
+        // delta log compacts to stay within its cap.
+        let db = ClauseDb::new();
+        let n = 40_000u32;
+        db.publish((0..n).map(|v| clause(&[(v, false)])));
+        assert_eq!(db.len(), n as usize);
+        assert_eq!(db.version(), u64::from(n));
+        let (logged, cursor) = db.clauses_since(0);
+        assert!(logged.len() <= LOG_CAP, "log holds {}", logged.len());
+        assert_eq!(cursor, u64::from(n));
+        // Recent additions are still delivered exactly.
+        let (tail, _) = db.clauses_since(u64::from(n) - 5);
+        assert_eq!(tail.len(), 5);
+    }
+
+    #[test]
+    fn concurrent_identical_publishes_store_one_copy() {
+        // The home-shard re-check under a single lock must make
+        // duplicate inserts impossible whatever the interleaving.
+        let db = ClauseDb::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let db = db.clone();
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        db.publish([clause(&[(7, true), (9, false)])]);
+                    }
+                });
+            }
+        });
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.version(), 1);
+    }
+
+    #[test]
+    fn subsumption_works_across_shards() {
+        // Many multi-literal clauses spread over all shards; a unit
+        // clause must evict every weaker clause wherever it lives, and
+        // weaker clauses must be rejected regardless of their shard.
+        let db = ClauseDb::new();
+        let weaker: Vec<Clause> = (1..100u32)
+            .map(|v| clause(&[(0, false), (v, v % 2 == 0)]))
+            .collect();
+        assert_eq!(db.publish(weaker.iter().cloned()), 99);
+        assert_eq!(db.publish([clause(&[(0, false)])]), 1);
+        assert_eq!(db.len(), 1, "unit must evict all 99 weaker clauses");
+        assert_eq!(db.publish(weaker), 0);
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn eviction_then_reinsert_compacts_cleanly() {
+        let db = ClauseDb::new();
+        for round in 0u32..6 {
+            let cls: Vec<Clause> = (0..200u32)
+                .map(|v| clause(&[(v, false), (1000 + round, true)]))
+                .collect();
+            db.publish(cls);
+            // The stronger units evict all of this round's clauses.
+            let units: Vec<Clause> = (0..200u32).map(|v| clause(&[(v, false)])).collect();
+            db.publish(units);
+            assert_eq!(db.len(), 200, "round {round}");
+        }
+    }
+
+    #[test]
+    fn large_store_stays_consistent_with_reference() {
+        // Randomized differential against a straightforward reference
+        // implementation.
+        use japrove_rng::SplitMix64;
+        let mut rng = SplitMix64::seed_from_u64(0xDB);
+        let db = ClauseDb::new();
+        let mut reference: Vec<Clause> = Vec::new();
+        for _ in 0..600 {
+            let len = 1 + (rng.next_u64() % 4) as usize;
+            let c = Clause::from_lits(
+                (0..len)
+                    .map(|_| Var::new((rng.next_u64() % 24) as u32).lit(rng.next_u64() % 2 == 0)),
+            );
+            let Some(n) = c.normalized() else {
+                assert_eq!(db.publish([c]), 0);
+                continue;
+            };
+            let expect_add = !reference.iter().any(|r| r.subsumes_sorted(&n));
+            if expect_add {
+                reference.retain(|r| !n.subsumes_sorted(r));
+                reference.push(n.clone());
+            }
+            assert_eq!(db.publish([c]) == 1, expect_add);
+            assert_eq!(db.len(), reference.len());
+        }
+        let mut got = db.snapshot();
+        let mut want = reference;
+        got.sort_by(|a, b| a.lits().cmp(b.lits()));
+        want.sort_by(|a, b| a.lits().cmp(b.lits()));
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -6,10 +6,49 @@
 //! with or without clause re-use.
 
 use crate::{ClauseDb, MultiReport, PropertyResult, Scope};
-use japrove_ic3::{CheckOutcome, Ic3, Ic3Options, Lifting};
+use japrove_ic3::{CheckOutcome, ClauseSource, Ic3Options, Lifting, SolverCtx, TsEncoding};
 use japrove_sat::{BackendChoice, Budget};
 use japrove_tsys::{replay, Expectation, PropertyId, TransitionSystem};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// A per-worker set of warm [`SolverCtx`]s, one per SAT backend in
+/// use, all sharing one [`TsEncoding`] of the design. This is what
+/// makes the drivers *incremental*: the encoding is computed once per
+/// design (even across worker threads) and consecutive property checks
+/// on the same worker reuse warm solvers.
+pub(crate) struct CtxPool {
+    enc: Arc<TsEncoding>,
+    ctxs: Vec<SolverCtx>,
+}
+
+impl CtxPool {
+    /// A pool that encodes `sys` now.
+    pub(crate) fn new(sys: &TransitionSystem) -> Self {
+        CtxPool::with_encoding(Arc::new(TsEncoding::new(sys)))
+    }
+
+    /// A pool over an encoding shared with other workers.
+    pub(crate) fn with_encoding(enc: Arc<TsEncoding>) -> Self {
+        CtxPool {
+            enc,
+            ctxs: Vec::new(),
+        }
+    }
+
+    /// The context for `backend`, created on first use.
+    pub(crate) fn get(&mut self, backend: BackendChoice) -> &mut SolverCtx {
+        let i = match self.ctxs.iter().position(|c| c.backend() == backend) {
+            Some(i) => i,
+            None => {
+                self.ctxs
+                    .push(SolverCtx::with_encoding(Arc::clone(&self.enc), backend));
+                self.ctxs.len() - 1
+            }
+        };
+        &mut self.ctxs[i]
+    }
+}
 
 /// Options for separate verification.
 ///
@@ -152,6 +191,14 @@ pub fn local_assumptions(sys: &TransitionSystem) -> Vec<PropertyId> {
 /// Checks one property in the given context, handling the spurious-
 /// counterexample retry of §7-A. Used by both the sequential and the
 /// parallel drivers.
+///
+/// `pool` and `refresh` must be paired consistently: the incremental
+/// drivers pass a long-lived pool with `refresh = true` (warm solvers
+/// plus mid-run clause refresh from `db`), while the cold baseline
+/// driver passes a *fresh* pool with `refresh = false` so the
+/// measurement stays faithful to the pre-incremental behaviour. Mixing
+/// the pairs compiles fine but benchmarks a hybrid that is neither.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn check_one(
     sys: &TransitionSystem,
     id: PropertyId,
@@ -159,6 +206,8 @@ pub(crate) fn check_one(
     db: &ClauseDb,
     opts: &SeparateOptions,
     deadline: Option<Instant>,
+    pool: &mut CtxPool,
+    refresh: bool,
 ) -> PropertyResult {
     let started = Instant::now();
     let mut budget = Budget::unlimited();
@@ -168,10 +217,23 @@ pub(crate) fn check_one(
     if let Some(d) = deadline {
         budget = budget.with_deadline(d);
     }
+    // The version is read *before* the snapshot: clauses published in
+    // between are both in the snapshot and re-offered by the first
+    // refresh, where deduplication drops them — never lost.
+    let db_version = db.version();
     let imported = if opts.reuse {
         db.snapshot()
     } else {
         Vec::new()
+    };
+    // With re-use on, the engine can also poll the store mid-run, so a
+    // long proof sees clauses published after its snapshot was taken.
+    // The cold baseline driver disables this to stay faithful to the
+    // pre-incremental behaviour it benchmarks against.
+    let source: Option<(&dyn ClauseSource, u64)> = if opts.reuse && refresh {
+        Some((db, db_version))
+    } else {
+        None
     };
     let backend = opts.backend_of(id);
     let base = opts
@@ -179,9 +241,9 @@ pub(crate) fn check_one(
         .lifting(opts.lifting)
         .budget(budget)
         .backend(backend);
-    let mut engine = Ic3::with_context(sys, id, base, assumed.to_vec(), imported.clone());
-    let mut outcome = engine.run();
-    let mut frames = engine.stats().frames;
+    let ctx = pool.get(backend);
+    let (mut outcome, stats) = ctx.check(sys, id, base, assumed, imported.clone(), source);
+    let mut frames = stats.frames;
     let mut retried = false;
 
     // Spurious-CEX detection for local proofs with ignore-mode lifting:
@@ -197,9 +259,9 @@ pub(crate) fn check_one(
             if spurious {
                 retried = true;
                 let strict = base.lifting(Lifting::Respect);
-                let mut engine = Ic3::with_context(sys, id, strict, assumed.to_vec(), imported);
-                outcome = engine.run();
-                frames = engine.stats().frames;
+                let (o, s) = ctx.check(sys, id, strict, assumed, imported, source);
+                outcome = o;
+                frames = s.frames;
             }
         }
     }
@@ -228,7 +290,16 @@ pub fn check_one_property(
     opts: &SeparateOptions,
     deadline: Option<Instant>,
 ) -> PropertyResult {
-    check_one(sys, id, assumed, db, opts, deadline)
+    check_one(
+        sys,
+        id,
+        assumed,
+        db,
+        opts,
+        deadline,
+        &mut CtxPool::new(sys),
+        true,
+    )
 }
 
 /// Runs separate verification over all properties.
@@ -275,6 +346,7 @@ pub fn separate_verify(sys: &TransitionSystem, opts: &SeparateOptions) -> MultiR
         (Scope::Global, false) => "separate-global (no reuse)",
     };
     let mut report = MultiReport::new(sys.name(), method);
+    let mut pool = CtxPool::new(sys);
     for id in order {
         if deadline.is_some_and(|d| Instant::now() >= d) {
             report.results.push(PropertyResult {
@@ -289,7 +361,7 @@ pub fn separate_verify(sys: &TransitionSystem, opts: &SeparateOptions) -> MultiR
             });
             continue;
         }
-        let result = check_one(sys, id, &assumed, &db, opts, deadline);
+        let result = check_one(sys, id, &assumed, &db, opts, deadline, &mut pool, true);
         if opts.reuse {
             if let CheckOutcome::Proved(cert) = &result.outcome {
                 db.publish(cert.clauses.iter().cloned());

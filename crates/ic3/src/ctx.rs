@@ -1,0 +1,342 @@
+//! Warm solver contexts: encode once, check many.
+//!
+//! In a multi-property run the transition relation is the same for
+//! every property, yet the original drivers re-encoded the AIG and
+//! rebuilt a fresh SAT solver per property. A [`SolverCtx`] removes
+//! both costs: the [`TsEncoding`] is computed once per design and
+//! shared (via `Arc`, also across worker threads), and the consecution
+//! and lifting solvers stay loaded between consecutive property checks
+//! on the same worker. Everything property-specific lives behind
+//! activation literals ([`SatBackend::add_clause_guarded`]), which are
+//! retired and simplified away when a check finishes, so the next
+//! property starts from a *warm* solver that still holds the encoding
+//! (and its accumulated learnt clauses).
+//!
+//! [`SatBackend::add_clause_guarded`]: japrove_sat::SatBackend::add_clause_guarded
+
+use crate::{CheckOutcome, Ic3, Ic3Options, RunStats, TsEncoding};
+use japrove_logic::Clause;
+use japrove_sat::{BackendChoice, SatBackend};
+use japrove_tsys::{PropertyId, TransitionSystem};
+use std::sync::Arc;
+
+/// A live, growing source of strengthening clauses.
+///
+/// The multi-property drivers publish each proof's certificate into a
+/// shared store; engines that run for a long time can *refresh* their
+/// imported set mid-run instead of seeing only the snapshot taken when
+/// they started. Every clause the source hands out must hold in all
+/// reachable states of the (projected) transition system — the §6-B
+/// re-use soundness condition.
+pub trait ClauseSource {
+    /// A monotone cursor counting clauses ever added to the source.
+    /// Engines poll this (it must be cheap) and fetch clauses only
+    /// when it moved past their own cursor.
+    fn version(&self) -> u64;
+
+    /// A snapshot of all clauses currently in the source.
+    fn clauses(&self) -> Vec<Clause>;
+
+    /// The clauses added after cursor `since`, plus the new cursor to
+    /// resume from. The default falls back to a full snapshot (callers
+    /// deduplicate), but sources with an addition log — like the
+    /// drivers' clause store — hand out only the delta, which keeps a
+    /// per-frame poll O(new clauses) instead of O(store).
+    fn clauses_since(&self, since: u64) -> (Vec<Clause>, u64) {
+        let _ = since;
+        (self.clauses(), self.version())
+    }
+}
+
+/// Number of fresh variables a warm solver may accumulate beyond the
+/// encoding before it is dropped instead of being reused (temporary
+/// activation variables are never reclaimed, only their clauses are).
+const VAR_HEADROOM: u32 = 100_000;
+
+/// A reusable per-worker solver context for checking many properties
+/// of one design.
+///
+/// Holds the design's shared [`TsEncoding`] plus warm consecution and
+/// lifting solvers. [`SolverCtx::check`] runs one full IC3 check
+/// (including clause import and an optional mid-run refresh source) and
+/// returns the solvers to the context afterwards.
+///
+/// # Examples
+///
+/// ```
+/// use japrove_aig::Aig;
+/// use japrove_ic3::{Ic3Options, SolverCtx};
+/// use japrove_tsys::{TransitionSystem, Word};
+///
+/// let mut aig = Aig::new();
+/// let c = Word::latches(&mut aig, 4, 0);
+/// let n = c.increment(&mut aig);
+/// c.set_next(&mut aig, &n);
+/// let ok = c.lt_const(&mut aig, 16);
+/// let le15 = c.le_const(&mut aig, 15);
+/// let mut sys = TransitionSystem::new("cnt", aig);
+/// let p = sys.add_property("lt16", ok);
+/// let q = sys.add_property("le15", le15);
+///
+/// let mut ctx = SolverCtx::new(&sys);
+/// // Both checks share one encoding and one warm solver pair.
+/// let (out_p, _) = ctx.check(&sys, p, Ic3Options::new(), &[], Vec::new(), None);
+/// let (out_q, _) = ctx.check(&sys, q, Ic3Options::new(), &[], Vec::new(), None);
+/// assert!(out_p.is_proved() && out_q.is_proved());
+/// ```
+pub struct SolverCtx {
+    enc: Arc<TsEncoding>,
+    backend: BackendChoice,
+    cons: Option<Box<dyn SatBackend>>,
+    lift: Option<Box<dyn SatBackend>>,
+}
+
+impl std::fmt::Debug for SolverCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolverCtx")
+            .field("backend", &self.backend)
+            .field("vars", &self.enc.num_vars())
+            .field("warm_cons", &self.cons.is_some())
+            .field("warm_lift", &self.lift.is_some())
+            .finish()
+    }
+}
+
+impl SolverCtx {
+    /// A context on the default backend, encoding `sys` now.
+    pub fn new(sys: &TransitionSystem) -> Self {
+        SolverCtx::with_encoding(Arc::new(TsEncoding::new(sys)), BackendChoice::default())
+    }
+
+    /// A context over an already-shared encoding (the multi-worker
+    /// case: encode the design once, hand the `Arc` to every worker).
+    pub fn with_encoding(enc: Arc<TsEncoding>, backend: BackendChoice) -> Self {
+        SolverCtx {
+            enc,
+            backend,
+            cons: None,
+            lift: None,
+        }
+    }
+
+    /// The shared encoding.
+    pub fn encoding(&self) -> &Arc<TsEncoding> {
+        &self.enc
+    }
+
+    /// The backend every solver of this context is built on.
+    pub fn backend(&self) -> BackendChoice {
+        self.backend
+    }
+
+    /// `true` if a warm consecution solver is currently parked here.
+    pub fn is_warm(&self) -> bool {
+        self.cons.is_some()
+    }
+
+    /// Checks `prop` with a (re)warmed engine: local-proof assumptions
+    /// `assumed`, initially `imported` strengthening clauses, and an
+    /// optional refresh source the engine polls for clauses published
+    /// while it runs. The `u64` alongside the source is its
+    /// [`ClauseSource::version`] observed *before* `imported` was
+    /// snapshotted from it, so the engine only re-reads the source once
+    /// it actually changed (pass `0` to force a first refresh). Returns
+    /// the verdict and the run statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sys` is not the design this context encodes (design
+    /// name, latch, input or property count differs).
+    pub fn check(
+        &mut self,
+        sys: &TransitionSystem,
+        prop: PropertyId,
+        opts: Ic3Options,
+        assumed: &[PropertyId],
+        imported: Vec<Clause>,
+        source: Option<(&dyn ClauseSource, u64)>,
+    ) -> (CheckOutcome, RunStats) {
+        let opts = opts.backend(self.backend);
+        let mut engine = Ic3::warm(sys, prop, opts, assumed.to_vec(), imported, self, source);
+        let outcome = engine.run();
+        let stats = *engine.stats();
+        engine.release(self);
+        (outcome, stats)
+    }
+
+    /// Takes the warm consecution solver, or builds a fresh one with
+    /// the encoding and the design constraints loaded.
+    pub(crate) fn take_cons(&mut self) -> Box<dyn SatBackend> {
+        self.cons
+            .take()
+            .unwrap_or_else(|| base_cons(&self.enc, self.backend))
+    }
+
+    /// Takes the warm lifting solver, or builds a fresh one with the
+    /// encoding loaded.
+    pub(crate) fn take_lift(&mut self) -> Box<dyn SatBackend> {
+        self.lift
+            .take()
+            .unwrap_or_else(|| base_lift(&self.enc, self.backend))
+    }
+
+    /// Parks a released solver pair for the next check. Solvers that
+    /// grew past the variable headroom (activation variables are never
+    /// reclaimed) or hit an unconditional contradiction are dropped, so
+    /// the next [`SolverCtx::take_cons`] starts clean.
+    pub(crate) fn put_back(&mut self, cons: Box<dyn SatBackend>, lift: Box<dyn SatBackend>) {
+        let cap = self.enc.num_vars().saturating_add(VAR_HEADROOM);
+        if cons.is_ok() && cons.num_vars() <= cap {
+            self.cons = Some(cons);
+        }
+        if lift.is_ok() && lift.num_vars() <= cap {
+            self.lift = Some(lift);
+        }
+    }
+}
+
+/// A fresh consecution base solver: encoding plus design-constraint
+/// units, nothing property-specific. This is exactly the state a warm
+/// solver returns to after its per-run activation literals are retired
+/// (modulo learnt clauses and dead variables).
+pub(crate) fn base_cons(enc: &TsEncoding, backend: BackendChoice) -> Box<dyn SatBackend> {
+    let mut solver = backend.build();
+    enc.load_into(solver.as_mut());
+    for &c in enc.constraint_lits() {
+        solver.add_clause(&[c]);
+    }
+    solver
+}
+
+/// A fresh lifting base solver: the bare encoding.
+pub(crate) fn base_lift(enc: &TsEncoding, backend: BackendChoice) -> Box<dyn SatBackend> {
+    let mut solver = backend.build();
+    enc.load_into(solver.as_mut());
+    solver
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use japrove_aig::Aig;
+    use japrove_tsys::Word;
+    use std::sync::Mutex;
+
+    fn counters(bits: usize, limits: &[u64]) -> TransitionSystem {
+        let mut aig = Aig::new();
+        let c = Word::latches(&mut aig, bits, 0);
+        let n = c.increment(&mut aig);
+        c.set_next(&mut aig, &n);
+        let goods: Vec<_> = limits.iter().map(|&l| c.lt_const(&mut aig, l)).collect();
+        let mut sys = TransitionSystem::new("cnt", aig);
+        for (i, g) in goods.into_iter().enumerate() {
+            sys.add_property(format!("p{i}"), g);
+        }
+        sys
+    }
+
+    #[test]
+    fn warm_checks_reuse_the_solver_pair() {
+        let sys = counters(4, &[16, 16, 3]);
+        let mut ctx = SolverCtx::new(&sys);
+        assert!(!ctx.is_warm());
+        let (a, _) = ctx.check(
+            &sys,
+            PropertyId::new(0),
+            Ic3Options::new(),
+            &[],
+            Vec::new(),
+            None,
+        );
+        assert!(a.is_proved());
+        assert!(ctx.is_warm());
+        let vars_after_first = ctx.cons.as_ref().expect("warm").num_vars();
+        let (b, _) = ctx.check(
+            &sys,
+            PropertyId::new(1),
+            Ic3Options::new(),
+            &[],
+            Vec::new(),
+            None,
+        );
+        assert!(b.is_proved());
+        // The falsified property reuses the same pair and still finds
+        // its counterexample.
+        let (c, _) = ctx.check(
+            &sys,
+            PropertyId::new(2),
+            Ic3Options::new(),
+            &[],
+            Vec::new(),
+            None,
+        );
+        assert_eq!(c.counterexample().expect("fails").depth, 3);
+        // The solver really was reused, not rebuilt: variables only grow.
+        assert!(ctx.cons.as_ref().expect("warm").num_vars() >= vars_after_first);
+    }
+
+    #[test]
+    fn warm_and_cold_verdicts_agree() {
+        let sys = counters(5, &[32, 9, 20]);
+        let mut ctx = SolverCtx::new(&sys);
+        for p in sys.property_ids() {
+            let cold = Ic3::new(&sys, p, Ic3Options::new()).run();
+            let (warm, _) = ctx.check(&sys, p, Ic3Options::new(), &[], Vec::new(), None);
+            assert_eq!(cold.is_proved(), warm.is_proved(), "{p}");
+            assert_eq!(
+                cold.counterexample().map(|c| c.depth),
+                warm.counterexample().map(|c| c.depth),
+                "{p}"
+            );
+        }
+    }
+
+    /// A toy source that versions a mutex-guarded clause vector.
+    struct VecSource(Mutex<(u64, Vec<Clause>)>);
+
+    impl ClauseSource for VecSource {
+        fn version(&self) -> u64 {
+            self.0.lock().unwrap().0
+        }
+        fn clauses(&self) -> Vec<Clause> {
+            self.0.lock().unwrap().1.clone()
+        }
+    }
+
+    #[test]
+    fn source_clauses_land_in_the_certificate() {
+        use japrove_logic::Var;
+        // Counter wraps at 9; "count < 12" needs strengthening. Seed a
+        // source with a sound invariant clause (!b1 | !b3 : count is
+        // never 10 or 11 — in fact never >= 10).
+        let mut aig = Aig::new();
+        let c = Word::latches(&mut aig, 4, 0);
+        let wrap = c.eq_const(&mut aig, 9);
+        let inc = c.increment(&mut aig);
+        let zero = Word::constant(&mut aig, 0, 4);
+        let next = Word::mux(&mut aig, wrap, &zero, &inc);
+        c.set_next(&mut aig, &next);
+        let safe = c.lt_const(&mut aig, 12);
+        let mut sys = TransitionSystem::new("wrap", aig);
+        let p = sys.add_property("lt12", safe);
+        let inv = Clause::from_lits([Var::new(1).neg(), Var::new(3).neg()]);
+        let source = VecSource(Mutex::new((1, vec![inv.clone()])));
+        let mut ctx = SolverCtx::new(&sys);
+        let (outcome, _) = ctx.check(
+            &sys,
+            p,
+            Ic3Options::new(),
+            &[],
+            Vec::new(),
+            Some((&source, 0)),
+        );
+        let cert = outcome.certificate().expect("holds");
+        assert!(
+            cert.clauses.iter().any(|cl| {
+                cl.normalized().map(|n| n == inv.normalized().unwrap()) == Some(true)
+            }),
+            "refreshed clause must be part of the certificate"
+        );
+        assert!(crate::verify_certificate(&sys, p, &[], cert).is_ok());
+    }
+}

@@ -31,6 +31,7 @@ use japrove_tsys::{PropertyId, TransitionSystem};
 /// ```
 #[derive(Clone, Debug)]
 pub struct TsEncoding {
+    design: String,
     num_latches: usize,
     num_inputs: usize,
     next_vars: Vec<Var>,
@@ -81,6 +82,7 @@ impl TsEncoding {
             .map(|(i, l)| Var::new(i as u32).lit(!l.reset))
             .collect();
         TsEncoding {
+            design: sys.name().to_string(),
             num_latches: aig.num_latches(),
             num_inputs: aig.num_inputs(),
             next_vars: next_defs.into_iter().map(|(v, _)| v).collect(),
@@ -99,6 +101,18 @@ impl TsEncoding {
     /// Number of primary inputs.
     pub fn num_inputs(&self) -> usize {
         self.num_inputs
+    }
+
+    /// Number of properties whose cones are encoded.
+    pub fn num_properties(&self) -> usize {
+        self.good_lits.len()
+    }
+
+    /// Name of the design this encoding was built from. Warm solver
+    /// contexts use it (plus the shape counts) to reject being handed
+    /// a different design's system.
+    pub fn design(&self) -> &str {
+        &self.design
     }
 
     /// Number of CNF variables used by the encoding.

@@ -12,6 +12,7 @@
 //! * **clause re-use** (§6): externally supplied state clauses that
 //!   over-approximate the reachable states seed every frame.
 
+use crate::ctx::{base_cons, base_lift, ClauseSource, SolverCtx};
 use crate::{
     Certificate, CheckOutcome, Counterexample, Ic3Options, Lifting, RunStats, TsEncoding,
     UnknownReason,
@@ -20,7 +21,8 @@ use japrove_logic::{Clause, Cube, Lit, Var};
 use japrove_sat::{SatBackend, SolveResult};
 use japrove_tsys::{complete_trace, PropertyId, TransitionSystem};
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
+use std::sync::Arc;
 
 /// Result of a consecution query.
 enum Consecution {
@@ -51,6 +53,16 @@ enum BlockOutcome {
     OutOfBudget,
 }
 
+/// Result of a bad-state query at a frame.
+enum BadState {
+    /// A bad (state, inputs) pair in the queried frame.
+    Found(Vec<bool>, Vec<bool>),
+    /// The frame provably contains no bad state.
+    None,
+    /// The budget ran out mid-query — *not* the same as `None`.
+    OutOfBudget,
+}
+
 /// The IC3 model checker for a single property of a
 /// [`TransitionSystem`].
 ///
@@ -74,11 +86,23 @@ enum BlockOutcome {
 /// ```
 pub struct Ic3<'a> {
     sys: &'a TransitionSystem,
-    enc: TsEncoding,
+    enc: Arc<TsEncoding>,
     prop: PropertyId,
     opts: Ic3Options,
     assumed: Vec<PropertyId>,
     imported: Vec<Clause>,
+    /// Activation literal guarding every imported clause; present iff
+    /// clauses were imported or a refresh source is attached. Guarding
+    /// (instead of adding the clauses outright) lets a warm solver
+    /// retire one property's imports before the next property's run.
+    imported_act: Option<Var>,
+    /// Live store to poll for clauses published while this engine runs.
+    source: Option<&'a dyn ClauseSource>,
+    /// Last [`ClauseSource::version`] already folded into `imported`.
+    source_version: u64,
+    /// Normalized forms of `imported`, for refresh deduplication (only
+    /// maintained when `source` is attached).
+    imported_set: HashSet<Clause>,
     /// Delta-encoded frames: `frames[j]` holds the cubes blocked
     /// exactly at level `j`; level 0 is the initial-state frame.
     frames: Vec<Vec<Cube>>,
@@ -111,7 +135,68 @@ impl<'a> Ic3<'a> {
         assumed: Vec<PropertyId>,
         imported: Vec<Clause>,
     ) -> Self {
-        let enc = TsEncoding::new(sys);
+        let enc = Arc::new(TsEncoding::new(sys));
+        let cons = base_cons(&enc, opts.backend);
+        let lift = base_lift(&enc, opts.backend);
+        Ic3::build(sys, enc, cons, lift, prop, opts, assumed, imported, None)
+    }
+
+    /// Creates an engine on a warm [`SolverCtx`]: the shared encoding
+    /// and (if available) the parked solver pair are taken from the
+    /// context instead of being rebuilt from the AIG. The engine must
+    /// be handed back with [`Ic3::release`] once the run is over;
+    /// [`SolverCtx::check`] wraps the full cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context's encoding disagrees with `sys` (design
+    /// name, latch, input or property count) — a mismatched context
+    /// would silently solve a different design's transition relation.
+    pub(crate) fn warm(
+        sys: &'a TransitionSystem,
+        prop: PropertyId,
+        opts: Ic3Options,
+        assumed: Vec<PropertyId>,
+        imported: Vec<Clause>,
+        ctx: &mut SolverCtx,
+        source: Option<(&'a dyn ClauseSource, u64)>,
+    ) -> Self {
+        let enc = Arc::clone(ctx.encoding());
+        assert!(
+            enc.design() == sys.name()
+                && enc.num_latches() == sys.aig().num_latches()
+                && enc.num_inputs() == sys.aig().num_inputs()
+                && enc.num_properties() == sys.num_properties(),
+            "solver context encodes design '{}', not '{}'",
+            enc.design(),
+            sys.name()
+        );
+        let cons = ctx.take_cons();
+        let lift = ctx.take_lift();
+        Ic3::build(sys, enc, cons, lift, prop, opts, assumed, imported, source)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        sys: &'a TransitionSystem,
+        enc: Arc<TsEncoding>,
+        cons: Box<dyn SatBackend>,
+        lift: Box<dyn SatBackend>,
+        prop: PropertyId,
+        opts: Ic3Options,
+        assumed: Vec<PropertyId>,
+        imported: Vec<Clause>,
+        source: Option<(&'a dyn ClauseSource, u64)>,
+    ) -> Self {
+        let imported_set = if source.is_some() {
+            imported.iter().filter_map(Clause::normalized).collect()
+        } else {
+            HashSet::new()
+        };
+        let (source, source_version) = match source {
+            Some((s, v)) => (Some(s), v),
+            None => (None, 0),
+        };
         let mut engine = Ic3 {
             sys,
             enc,
@@ -119,19 +204,40 @@ impl<'a> Ic3<'a> {
             opts,
             assumed,
             imported,
+            imported_act: None,
+            source,
+            source_version,
+            imported_set,
             frames: vec![Vec::new()],
-            cons: opts.backend.build(),
+            cons,
             frame_act: Vec::new(),
             prop_cons_act: None,
             cons_temp: 0,
-            lift: opts.backend.build(),
+            lift,
             lift_temp: 0,
             stats: RunStats::default(),
             obligations: Vec::new(),
         };
-        engine.rebuild_cons();
-        engine.rebuild_lift();
+        engine.install_cons_run();
         engine
+    }
+
+    /// Ends a warm run: retires every per-run activation literal, lets
+    /// the solvers reclaim the retired clauses and parks the pair in
+    /// `ctx` for the next property.
+    pub(crate) fn release(mut self, ctx: &mut SolverCtx) {
+        if let Some(a) = self.imported_act {
+            self.cons.retire(a);
+        }
+        if let Some(a) = self.prop_cons_act {
+            self.cons.retire(a);
+        }
+        for &a in &self.frame_act {
+            self.cons.retire(a);
+        }
+        self.cons.simplify();
+        self.lift.simplify();
+        ctx.put_back(self.cons, self.lift);
     }
 
     /// Statistics of the run so far.
@@ -166,14 +272,19 @@ impl<'a> Ic3<'a> {
         let mut k = 1;
         loop {
             self.stats.frames = k;
+            // Pick up clauses other workers published since the last
+            // frame — long-running proofs see more than their initial
+            // snapshot.
+            self.refresh_imports();
             // Blocking phase: clear all bad states from F_k.
             loop {
                 if self.opts.budget.deadline_passed() {
                     return CheckOutcome::Unknown(UnknownReason::Budget);
                 }
                 match self.bad_state_at(k) {
-                    None => break,
-                    Some((state, inputs)) => match self.block(state, inputs, k) {
+                    BadState::None => break,
+                    BadState::OutOfBudget => return CheckOutcome::Unknown(UnknownReason::Budget),
+                    BadState::Found(state, inputs) => match self.block(state, inputs, k) {
                         BlockOutcome::Blocked => {}
                         BlockOutcome::OutOfBudget => {
                             return CheckOutcome::Unknown(UnknownReason::Budget)
@@ -217,52 +328,91 @@ impl<'a> Ic3<'a> {
 
     // ----- solver construction ------------------------------------------
 
-    fn rebuild_cons(&mut self) {
-        let mut solver = self.opts.backend.build();
-        self.enc.load_into(solver.as_mut());
-        for clause in &self.imported {
-            solver.add_clause(clause.lits());
-        }
-        for &c in self.enc.constraint_lits() {
-            solver.add_clause(&[c]);
-        }
+    /// Installs the per-run state into `self.cons`, which must hold
+    /// exactly the base content (encoding + design constraints): the
+    /// imported clauses, the assumed-property constraints and the frame
+    /// clauses, each behind activation literals so a warm solver can
+    /// retire them when the run ends.
+    fn install_cons_run(&mut self) {
+        // Imported clauses behind one activation literal. Allocated
+        // even for an empty import when a refresh source is attached —
+        // refreshed clauses reuse the same guard.
+        self.imported_act = if self.imported.is_empty() && self.source.is_none() {
+            None
+        } else {
+            let a = self.cons.new_var();
+            for clause in &self.imported {
+                self.cons.add_clause_guarded(a, clause.lits());
+            }
+            Some(a)
+        };
         // Assumed-property constraints behind one activation literal.
         self.prop_cons_act = if self.assumed.is_empty() {
             None
         } else {
-            let a = solver.new_var();
+            let a = self.cons.new_var();
             for &p in &self.assumed {
                 let lit = self.enc.good_lit(p);
-                solver.add_clause(&[a.neg(), lit]);
+                self.cons.add_clause_guarded(a, &[lit]);
             }
             Some(a)
         };
         // Frame activation literals and frame clauses.
         self.frame_act.clear();
         for level in 0..self.frames.len() {
-            let a = solver.new_var();
+            let a = self.cons.new_var();
             self.frame_act.push(a);
             if level == 0 {
                 for &init in self.enc.init_lits() {
-                    solver.add_clause(&[a.neg(), init]);
+                    self.cons.add_clause_guarded(a, &[init]);
                 }
             } else {
                 for cube in &self.frames[level] {
-                    let mut clause: Vec<Lit> = vec![a.neg()];
-                    clause.extend(cube.iter().map(|&l| !l));
-                    solver.add_clause(&clause);
+                    let clause: Vec<Lit> = cube.iter().map(|&l| !l).collect();
+                    self.cons.add_clause_guarded(a, &clause);
                 }
             }
         }
-        self.cons = solver;
+    }
+
+    fn rebuild_cons(&mut self) {
+        self.cons = base_cons(&self.enc, self.opts.backend);
         self.cons_temp = 0;
+        self.install_cons_run();
     }
 
     fn rebuild_lift(&mut self) {
-        let mut solver = self.opts.backend.build();
-        self.enc.load_into(solver.as_mut());
-        self.lift = solver;
+        self.lift = base_lift(&self.enc, self.opts.backend);
         self.lift_temp = 0;
+    }
+
+    /// Folds clauses published to the attached [`ClauseSource`] since
+    /// the last poll into the run: new clauses are added to the solver
+    /// under the import guard and recorded for the certificate. Sound
+    /// because every source clause holds in all reachable states, so it
+    /// may strengthen every frame at any point of the run (§6-B).
+    fn refresh_imports(&mut self) {
+        let Some(source) = self.source else {
+            return;
+        };
+        let version = source.version();
+        if version == self.source_version {
+            return;
+        }
+        let (fresh, cursor) = source.clauses_since(self.source_version);
+        self.source_version = cursor;
+        let act = self
+            .imported_act
+            .expect("import guard allocated when a source is attached");
+        for clause in fresh {
+            let Some(normalized) = clause.normalized() else {
+                continue;
+            };
+            if self.imported_set.insert(normalized.clone()) {
+                self.cons.add_clause_guarded(act, normalized.lits());
+                self.imported.push(normalized);
+            }
+        }
     }
 
     fn open_frame(&mut self) {
@@ -272,26 +422,38 @@ impl<'a> Ic3<'a> {
     }
 
     fn init_frame_assumptions(&self) -> Vec<Lit> {
-        self.frame_act.iter().map(|a| a.pos()).collect()
+        self.frame_assumptions(0)
     }
 
-    /// Assumptions activating `F_frame` (all levels `>= frame`).
+    /// Assumptions activating `F_frame` (all levels `>= frame`) plus
+    /// the imported strengthening clauses, which hold in every
+    /// reachable state and therefore apply to every query.
     fn frame_assumptions(&self, frame: usize) -> Vec<Lit> {
-        self.frame_act[frame..].iter().map(|a| a.pos()).collect()
+        let mut assumptions: Vec<Lit> = self.frame_act[frame..].iter().map(|a| a.pos()).collect();
+        if let Some(a) = self.imported_act {
+            assumptions.push(a.pos());
+        }
+        assumptions
     }
 
     // ----- queries -------------------------------------------------------
 
     /// Looks for a bad state in `F_k` (no property constraints: the
     /// final state of a local counterexample is unconstrained).
-    fn bad_state_at(&mut self, k: usize) -> Option<(Vec<bool>, Vec<bool>)> {
+    ///
+    /// Budget exhaustion is reported distinctly: treating it as "no
+    /// bad state" would let the main loop conclude `F_k` is clear and,
+    /// with an empty frame, unsoundly report a *proof* on a property
+    /// whose falsification the solver simply never got to.
+    fn bad_state_at(&mut self, k: usize) -> BadState {
         self.stats.queries += 1;
         self.cons.set_budget(self.opts.budget);
         let mut assumptions = self.frame_assumptions(k);
         assumptions.push(self.enc.bad_lit(self.prop));
         match self.cons.solve(&assumptions) {
-            SolveResult::Sat => Some((self.model_state(), self.model_inputs())),
-            _ => None,
+            SolveResult::Sat => BadState::Found(self.model_state(), self.model_inputs()),
+            SolveResult::Unsat => BadState::None,
+            SolveResult::Unknown => BadState::OutOfBudget,
         }
     }
 

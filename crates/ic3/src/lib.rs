@@ -12,7 +12,10 @@
 //!   baseline of Table I),
 //! * [`verify_certificate`] — independent SAT-based checking of the
 //!   inductive invariants the engines emit,
-//! * [`TsEncoding`] — the shared CNF encoding of an `(I, T)`-system.
+//! * [`TsEncoding`] — the shared CNF encoding of an `(I, T)`-system,
+//! * [`SolverCtx`] — warm per-worker solver contexts that keep the
+//!   encoding loaded across consecutive property checks (encode once,
+//!   check many), with [`ClauseSource`] for mid-run clause refresh.
 //!
 //! # Examples
 //!
@@ -38,6 +41,7 @@
 //! ```
 
 mod bmc;
+mod ctx;
 mod encode;
 mod engine;
 mod invariant;
@@ -45,6 +49,7 @@ mod options;
 mod result;
 
 pub use bmc::{Bmc, BmcResult};
+pub use ctx::{ClauseSource, SolverCtx};
 pub use encode::TsEncoding;
 pub use engine::Ic3;
 pub use invariant::{verify_certificate, CertificateError};
@@ -313,5 +318,24 @@ mod tests {
         let opts = Ic3Options::new().budget(Budget::timeout(Duration::from_millis(1)));
         let outcome = Ic3::new(&sys, p, opts).run();
         assert!(outcome.is_unknown() || outcome.is_falsified());
+    }
+
+    #[test]
+    fn budget_exhaustion_never_reports_proved() {
+        // Regression: a budget-exhausted bad-state query used to read
+        // as "frame clear"; with the frame still empty the next
+        // propagation pass then returned a bogus *proof* of a
+        // falsifiable property. Whatever the conflict allowance, a
+        // falsifiable property must never come back Proved.
+        use japrove_sat::Budget;
+        let (sys, p) = counter(8, 200); // fails (globally) at depth 200
+        for conflicts in [0u64, 1, 2, 4, 8, 16, 64, 256] {
+            let opts = Ic3Options::new().budget(Budget::conflicts(conflicts));
+            let outcome = Ic3::new(&sys, p, opts).run();
+            assert!(
+                !outcome.is_proved(),
+                "conflict budget {conflicts}: falsifiable property reported proved"
+            );
+        }
     }
 }

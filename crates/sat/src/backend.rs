@@ -94,6 +94,27 @@ pub trait SatBackend: fmt::Debug + Send {
 
     /// Removes clauses satisfied at level 0.
     fn simplify(&mut self);
+
+    /// Adds `lits` as a clause guarded by the activation variable
+    /// `act`: the clause constrains only those [`SatBackend::solve`]
+    /// calls that assume `act` positively. The guard is the standard
+    /// `!act ∨ lits` encoding, so a retired guard (see
+    /// [`SatBackend::retire`]) permanently satisfies the clause.
+    fn add_clause_guarded(&mut self, act: Var, lits: &[Lit]) -> bool {
+        let mut clause = Vec::with_capacity(lits.len() + 1);
+        clause.push(act.neg());
+        clause.extend_from_slice(lits);
+        self.add_clause(&clause)
+    }
+
+    /// Permanently retires the activation variable `act` by fixing it
+    /// false at level 0. Every clause guarded by `act` becomes
+    /// satisfied and is reclaimed by the next [`SatBackend::simplify`]
+    /// call — the mechanism warm, long-lived solvers use to drop one
+    /// property's clauses before the next property's run.
+    fn retire(&mut self, act: Var) -> bool {
+        self.add_clause(&[act.neg()])
+    }
 }
 
 impl SatBackend for Solver {

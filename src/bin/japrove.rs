@@ -7,9 +7,9 @@
 //! property.
 
 use japrove::core::{
-    grouped_verify, ja_verify, joint_verify, local_assumptions, parallel_ja_verify,
+    grouped_verify, ja_verify, joint_verify, local_assumptions, parallel_ja_verify_with,
     separate_verify, validate_debugging_set, GroupingOptions, JointOptions, MultiReport,
-    SeparateOptions,
+    ParallelMode, SeparateOptions,
 };
 use japrove::ic3::Lifting;
 use japrove::sat::BackendChoice;
@@ -27,6 +27,8 @@ OPTIONS:
     --mode <ja|joint|separate-global|grouped|parallel|parallel-global>
                               verification driver [default: ja]
     --threads <N>             workers for the parallel modes [default: 2]
+    --schedule <steal|fifo>   parallel dispatch: incremental work-stealing
+                              or the cold FIFO baseline [default: steal]
     --backend <cdcl|chrono>   SAT backend for every engine run
                               [default: cdcl]
     --per-property <SECS>     time limit per property
@@ -43,6 +45,7 @@ struct Cli {
     path: String,
     mode: String,
     threads: usize,
+    schedule: ParallelMode,
     backend: BackendChoice,
     per_property: Option<Duration>,
     total: Option<Duration>,
@@ -58,6 +61,7 @@ fn parse_args() -> Result<Cli, String> {
         path: String::new(),
         mode: "ja".into(),
         threads: 2,
+        schedule: ParallelMode::Incremental,
         backend: BackendChoice::default(),
         per_property: None,
         total: None,
@@ -86,6 +90,13 @@ fn parse_args() -> Result<Cli, String> {
                     .ok()
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| "invalid --threads (need an integer >= 1)".to_string())?
+            }
+            "--schedule" => {
+                cli.schedule = match value("--schedule")?.as_str() {
+                    "steal" => ParallelMode::Incremental,
+                    "fifo" => ParallelMode::ColdFifo,
+                    other => return Err(format!("unknown schedule '{other}'")),
+                }
             }
             "--per-property" => {
                 let secs: f64 = value("--per-property")?
@@ -159,8 +170,10 @@ fn run(cli: &Cli) -> Result<(MultiReport, TransitionSystem), String> {
         "separate-global" => separate_verify(&sys, &global(sep.clone())),
         "joint" => joint_verify(&sys, &joint),
         "grouped" => grouped_verify(&sys, &GroupingOptions::new().joint(joint)),
-        "parallel" => parallel_ja_verify(&sys, cli.threads, &sep),
-        "parallel-global" => parallel_ja_verify(&sys, cli.threads, &global(sep.clone())),
+        "parallel" => parallel_ja_verify_with(&sys, cli.threads, &sep, cli.schedule),
+        "parallel-global" => {
+            parallel_ja_verify_with(&sys, cli.threads, &global(sep.clone()), cli.schedule)
+        }
         other => return Err(format!("unknown mode '{other}'")),
     };
     Ok((report, sys))

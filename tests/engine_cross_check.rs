@@ -2,7 +2,9 @@
 //! must agree on randomly generated small designs, every
 //! counterexample must replay, and every certificate must re-verify.
 
-use japrove::core::{ja_verify, separate_verify, SeparateOptions};
+use japrove::core::{
+    ja_verify, parallel_ja_verify_with, separate_verify, ParallelMode, SeparateOptions,
+};
 use japrove::genbench::FamilyParams;
 use japrove::ic3::{verify_certificate, Bmc, BmcResult, CheckOutcome, Ic3, Ic3Options};
 use japrove::sat::{BackendChoice, Budget};
@@ -176,6 +178,46 @@ fn driver_verdicts_are_backend_independent() {
                 a.name
             );
             assert_eq!(b.backend, opts.backend_of(b.id));
+        }
+    }
+}
+
+#[test]
+fn parallel_verdicts_match_sequential_under_stress() {
+    // The work-stealing driver must be verdict-deterministic: for every
+    // generated design, every thread count and both re-use settings,
+    // `parallel_ja_verify` agrees with the sequential `ja_verify` —
+    // and so does the cold/FIFO reference mode. Scheduling order and
+    // clause exchange may differ run to run; verdicts may not.
+    for design in random_designs() {
+        let sys = &design.sys;
+        for reuse in [true, false] {
+            let opts = SeparateOptions::local().reuse(reuse);
+            let seq = ja_verify(sys, &opts);
+            for threads in [1usize, 2, 8] {
+                for mode in [ParallelMode::Incremental, ParallelMode::ColdFifo] {
+                    let par = parallel_ja_verify_with(sys, threads, &opts, mode);
+                    assert_eq!(seq.results.len(), par.results.len());
+                    for (a, b) in seq.results.iter().zip(&par.results) {
+                        assert_eq!(a.id, b.id);
+                        assert_eq!(a.scope, b.scope);
+                        assert_eq!(
+                            a.holds(),
+                            b.holds(),
+                            "{}/{}: reuse={reuse} threads={threads} mode={mode:?}",
+                            sys.name(),
+                            a.name
+                        );
+                        assert_eq!(
+                            a.fails(),
+                            b.fails(),
+                            "{}/{}: reuse={reuse} threads={threads} mode={mode:?}",
+                            sys.name(),
+                            a.name
+                        );
+                    }
+                }
+            }
         }
     }
 }
