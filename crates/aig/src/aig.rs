@@ -190,6 +190,15 @@ impl Aig {
         self.nodes[id.index()]
     }
 
+    /// All node ids in ascending (topological) order: the operands of
+    /// an AND gate always precede the gate itself; only latch
+    /// next-state edges may point forward. Structural rewrites (e.g.
+    /// cone-of-influence reduction) rely on this to map a graph in a
+    /// single forward pass.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
     /// Input nodes in creation order.
     pub fn inputs(&self) -> &[NodeId] {
         &self.inputs

@@ -80,6 +80,37 @@ impl Cone {
     pub fn size(&self) -> usize {
         self.in_cone.iter().filter(|&&b| b).count()
     }
+
+    /// Number of nodes lying in both this cone and `other`.
+    ///
+    /// Both cones must be computed over the same graph (they then have
+    /// the same node-id space); the count is the size of the structural
+    /// intersection, the raw ingredient of the shared-logic affinity
+    /// signal used by property clustering.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use japrove_aig::{Aig, Cone};
+    /// let mut g = Aig::new();
+    /// let a = g.add_input();
+    /// let b = g.add_input();
+    /// let shared = g.and(a, b);
+    /// let left = g.and(shared, a);
+    /// let right = g.and(shared, b);
+    /// let cl = Cone::combinational(&g, [left]);
+    /// let cr = Cone::combinational(&g, [right]);
+    /// // Both cones contain the shared AND plus both inputs.
+    /// assert_eq!(cl.overlap(&cr), 3);
+    /// assert_eq!(cl.overlap(&cl), cl.size());
+    /// ```
+    pub fn overlap(&self, other: &Cone) -> usize {
+        self.in_cone
+            .iter()
+            .zip(&other.in_cone)
+            .filter(|&(&a, &b)| a && b)
+            .count()
+    }
 }
 
 #[cfg(test)]
@@ -113,6 +144,24 @@ mod tests {
         assert!(cone.contains(n.node()));
         assert_eq!(cone.num_inputs(), 1);
         assert_eq!(cone.size(), 3);
+    }
+
+    #[test]
+    fn overlap_counts_shared_nodes() {
+        let mut g = Aig::new();
+        let l1 = g.add_latch(false);
+        let l2 = g.add_latch(false);
+        let i = g.add_input();
+        let n1 = g.and(l1, i);
+        let n2 = g.and(l2, i);
+        g.set_next(l1, n1);
+        g.set_next(l2, n2);
+        let c1 = Cone::sequential(&g, [l1]);
+        let c2 = Cone::sequential(&g, [l2]);
+        // Shared: the input node only.
+        assert_eq!(c1.overlap(&c2), 1);
+        assert_eq!(c2.overlap(&c1), 1);
+        assert_eq!(c1.overlap(&c1), c1.size());
     }
 
     #[test]

@@ -11,9 +11,16 @@
 //! As §12 predicts, grouping favours *correct* designs and struggles
 //! when broken properties fail for different reasons with vastly
 //! different counterexamples.
+//!
+//! This greedy single-signal grouping is kept as the *baseline*; the
+//! first-class clustering mode that superseded it lives in
+//! [`crate::affinity`] (multi-signal affinity graph, agglomerative
+//! merging) and [`crate::clustered_verify`] (per-cluster verification
+//! with cluster-scoped clause re-use and a per-property fallback that
+//! can never lose verdicts). Reach for [`grouped_verify`] only when
+//! you specifically want the §12 comparison point.
 
 use crate::{joint_verify, JointOptions, MultiReport};
-use japrove_aig::Cone;
 use japrove_tsys::{PropertyId, TransitionSystem};
 use std::time::Instant;
 
@@ -54,8 +61,18 @@ impl GroupingOptions {
     }
 
     /// Sets the similarity threshold.
+    ///
+    /// The threshold is a Jaccard similarity, so only values in
+    /// `[0, 1]` are meaningful; out-of-range values are clamped (below
+    /// 0 every pair qualifies, above 1 none does — both silently
+    /// produced degenerate groupings before this was validated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is NaN.
     pub fn min_similarity(mut self, s: f64) -> Self {
-        self.min_similarity = s;
+        assert!(!s.is_nan(), "min_similarity must not be NaN");
+        self.min_similarity = s.clamp(0.0, 1.0);
         self
     }
 
@@ -76,22 +93,10 @@ impl Default for GroupingOptions {
 /// influence restricted to latches), as sorted index lists. The
 /// parallel driver uses the support sizes to schedule hardest-first.
 pub(crate) fn latch_supports(sys: &TransitionSystem) -> Vec<Vec<usize>> {
-    let aig = sys.aig();
-    sys.properties()
-        .iter()
-        .map(|p| {
-            let cone = Cone::sequential(aig, [p.good]);
-            aig.latches()
-                .iter()
-                .enumerate()
-                .filter(|(_, l)| cone.contains(l.node))
-                .map(|(i, _)| i)
-                .collect()
-        })
-        .collect()
+    sys.property_ids().map(|p| sys.latch_support(p)).collect()
 }
 
-fn jaccard(a: &[usize], b: &[usize]) -> f64 {
+pub(crate) fn jaccard(a: &[usize], b: &[usize]) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
@@ -174,6 +179,12 @@ pub fn cluster_properties(sys: &TransitionSystem, opts: &GroupingOptions) -> Vec
 /// Grouped verification: cluster by cone similarity, then verify each
 /// group jointly. The related-work baseline compared against
 /// JA-verification in the `grouping_ablation` experiment.
+///
+/// Prefer [`crate::clustered_verify`] for actual verification work: it
+/// clusters on a richer affinity graph, re-uses clauses at cluster
+/// scope, and falls back per-property instead of leaving verdicts
+/// Unknown when a group resists joint solving. This function is kept
+/// as the faithful §12 comparison point.
 pub fn grouped_verify(sys: &TransitionSystem, opts: &GroupingOptions) -> MultiReport {
     let started = Instant::now();
     let groups = cluster_properties(sys, opts);
@@ -266,6 +277,39 @@ mod tests {
             assert!(grouped.result(id).expect("present").fails());
             assert!(ja.result(id).expect("present").fails());
         }
+    }
+
+    #[test]
+    fn min_similarity_is_clamped_into_the_unit_interval() {
+        // Regression: out-of-range thresholds used to pass through
+        // unchecked. Below 0 everything clustered together; above 1
+        // (or NaN) nothing ever did.
+        assert_eq!(
+            GroupingOptions::new().min_similarity(-3.5).min_similarity,
+            0.0
+        );
+        assert_eq!(
+            GroupingOptions::new().min_similarity(7.0).min_similarity,
+            1.0
+        );
+        assert_eq!(
+            GroupingOptions::new().min_similarity(0.25).min_similarity,
+            0.25
+        );
+        // A clamped threshold of 0 must still respect max_group_size.
+        let sys = sys_with_shared_cones();
+        let opts = GroupingOptions::new()
+            .min_similarity(-1.0)
+            .max_group_size(2);
+        for group in cluster_properties(&sys, &opts) {
+            assert!(group.len() <= 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_min_similarity_panics() {
+        let _ = GroupingOptions::new().min_similarity(f64::NAN);
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //!   optionally with a BMC front-end;
 //! * [`parallel_ja_verify`] — the embarrassingly-parallel JA driver
 //!   motivated in §11;
+//! * [`clustered_verify`] / [`parallel_clustered_verify`] —
+//!   affinity-based property clustering with cluster-level clause
+//!   re-use (the structure-aware direction §12 contrasts with JA,
+//!   promoted to a first-class mode; the greedy §12 baseline survives
+//!   as [`grouped_verify`]);
 //! * [`ClauseDb`] — the clauseDB of §7-B re-using strengthening
 //!   clauses across properties;
 //! * [`validate_debugging_set`] / [`check_local_global_agreement`] /
@@ -47,7 +52,9 @@
 //! assert_eq!(report.debugging_set(), vec![p_shallow]);
 //! ```
 
+pub mod affinity;
 mod cluster;
+mod clustered;
 mod debug_set;
 mod joint;
 mod parallel;
@@ -55,12 +62,14 @@ mod report;
 mod reuse;
 mod separate;
 
+pub use affinity::{affinity_clusters, affinity_clusters_with, AffinityGraph, AffinityMetric};
 pub use cluster::{cluster_properties, grouped_verify, GroupingOptions};
+pub use clustered::{clustered_verify, parallel_clustered_verify, ClusteredOptions};
 pub use debug_set::{check_local_global_agreement, validate_debugging_set, verify_reuse_soundness};
 pub use joint::{joint_verify, JointOptions};
 pub use parallel::{parallel_ja_verify, parallel_ja_verify_with, ParallelMode};
 pub use report::{MultiReport, PropertyResult, Scope};
-pub use reuse::ClauseDb;
+pub use reuse::{ClauseDb, TwoLevelSource};
 pub use separate::{
     check_one_property, ja_verify, local_assumptions, separate_verify, SeparateOptions,
 };

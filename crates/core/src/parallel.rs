@@ -64,7 +64,7 @@ pub enum ParallelMode {
 /// moment and a popped job is exclusively owned and runs exactly once.
 /// A count of still-queued jobs prevents a worker that scans during
 /// someone else's steal from mistaking the transfer for exhaustion.
-struct Dispatcher {
+pub(crate) struct Dispatcher {
     queues: Vec<Mutex<VecDeque<usize>>>,
     /// Jobs dealt but not yet popped for execution. `Relaxed` is
     /// enough: the counter only decreases, and a stale (higher) read
@@ -74,7 +74,7 @@ struct Dispatcher {
 
 impl Dispatcher {
     /// Deals `jobs` (already priority-sorted) across `workers` deques.
-    fn new(jobs: &[usize], workers: usize) -> Self {
+    pub(crate) fn new(jobs: &[usize], workers: usize) -> Self {
         let mut queues: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
         for (i, &job) in jobs.iter().enumerate() {
             queues[i % workers].push_back(job);
@@ -93,7 +93,7 @@ impl Dispatcher {
     /// remaining job), then stolen work. `None` once no job is queued
     /// anywhere — any still-unfinished job is then being executed by
     /// the worker that popped it.
-    fn pop(&self, me: usize) -> Option<usize> {
+    pub(crate) fn pop(&self, me: usize) -> Option<usize> {
         loop {
             if let Some(j) = self.lock(me).pop_front() {
                 self.queued.fetch_sub(1, Ordering::Relaxed);

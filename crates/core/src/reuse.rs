@@ -331,6 +331,105 @@ impl ClauseSource for ClauseDb {
     }
 }
 
+/// A cluster-scoped clause store layered over the global one: the
+/// two-level [`ClauseSource`] of clustered verification.
+///
+/// The clustered driver gives every cluster its own [`ClauseDb`] and
+/// imports its contents *eagerly* at the start of each member check —
+/// clauses proved by cluster siblings are the most likely to transfer.
+/// Clauses from the *global* store (published by other clusters) flow
+/// in lazily through the engine's mid-run refresh: the source exposes
+/// one combined monotone cursor, and a freshly built source is primed
+/// so the first refresh delivers exactly the global clauses the eager
+/// import skipped.
+///
+/// An unknown cursor (e.g. after the caller mixed sources) degrades to
+/// a full two-store snapshot; readers deduplicate, so over-delivery
+/// costs redundant work, never soundness.
+///
+/// # Examples
+///
+/// ```
+/// use japrove_core::{ClauseDb, TwoLevelSource};
+/// use japrove_ic3::ClauseSource;
+/// use japrove_logic::{Clause, Var};
+///
+/// let cluster = ClauseDb::new();
+/// let global = ClauseDb::new();
+/// cluster.publish([Clause::unit(Var::new(0).neg())]);
+/// global.publish([Clause::unit(Var::new(1).neg())]);
+///
+/// let source = TwoLevelSource::new(&cluster, &global);
+/// // The primed cursor skips the (eagerly imported) cluster clause:
+/// let (fresh, cursor) = source.clauses_since(source.primed_cursor());
+/// assert_eq!(fresh, vec![Clause::unit(Var::new(1).neg())]);
+/// // Later publishes to either store arrive as a delta.
+/// global.publish([Clause::unit(Var::new(2).pos())]);
+/// let (next, _) = source.clauses_since(cursor);
+/// assert_eq!(next, vec![Clause::unit(Var::new(2).pos())]);
+/// ```
+#[derive(Debug)]
+pub struct TwoLevelSource<'a> {
+    cluster: &'a ClauseDb,
+    global: &'a ClauseDb,
+    /// `(combined, cluster, global)` cursors of the last hand-out, so
+    /// a combined cursor can be decomposed back into per-store ones.
+    cursors: Mutex<(u64, u64, u64)>,
+}
+
+impl<'a> TwoLevelSource<'a> {
+    /// Layers `cluster` over `global`, primed at the *current* cluster
+    /// version and global version 0: a reader that eagerly imported
+    /// the cluster snapshot and starts refreshing from
+    /// [`TwoLevelSource::primed_cursor`] receives every global clause
+    /// plus only the cluster clauses published after construction.
+    pub fn new(cluster: &'a ClauseDb, global: &'a ClauseDb) -> Self {
+        let cv = cluster.version();
+        TwoLevelSource {
+            cluster,
+            global,
+            cursors: Mutex::new((cv, cv, 0)),
+        }
+    }
+
+    /// The cursor to start refreshing from after an eager import of
+    /// the cluster store (see [`TwoLevelSource::new`]).
+    pub fn primed_cursor(&self) -> u64 {
+        self.cursors.lock().unwrap_or_else(|e| e.into_inner()).0
+    }
+}
+
+impl ClauseSource for TwoLevelSource<'_> {
+    fn version(&self) -> u64 {
+        // Both summands are monotone, so the combined cursor is too.
+        self.cluster.version() + self.global.version()
+    }
+
+    fn clauses(&self) -> Vec<Clause> {
+        let mut all = self.cluster.snapshot();
+        all.extend(self.global.snapshot());
+        all
+    }
+
+    fn clauses_since(&self, since: u64) -> (Vec<Clause>, u64) {
+        let mut cur = self.cursors.lock().unwrap_or_else(|e| e.into_inner());
+        let (fresh, cc, gc) = if since == cur.0 {
+            let (mut a, cc) = self.cluster.clauses_since(cur.1);
+            let (b, gc) = self.global.clauses_since(cur.2);
+            a.extend(b);
+            (a, cc, gc)
+        } else {
+            // Cursor from before this source's priming (or from another
+            // source): resync with a full snapshot.
+            let mut all = self.cluster.snapshot();
+            all.extend(self.global.snapshot());
+            (all, self.cluster.version(), self.global.version())
+        };
+        *cur = (cc + gc, cc, gc);
+        (fresh, cc + gc)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -513,6 +612,47 @@ mod tests {
         got.sort_by(|a, b| a.lits().cmp(b.lits()));
         want.sort_by(|a, b| a.lits().cmp(b.lits()));
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn two_level_source_delivers_global_then_deltas() {
+        let cluster = ClauseDb::new();
+        let global = ClauseDb::new();
+        cluster.publish([clause(&[(0, true)])]);
+        global.publish([clause(&[(1, true)]), clause(&[(2, false)])]);
+        let source = TwoLevelSource::new(&cluster, &global);
+        let c0 = source.primed_cursor();
+        // Version reflects both stores; the primed refresh hands out
+        // exactly the global side.
+        assert_eq!(ClauseSource::version(&source), 3);
+        let (fresh, c1) = ClauseSource::clauses_since(&source, c0);
+        assert_eq!(fresh.len(), 2);
+        assert!(fresh.iter().all(|c| c != &clause(&[(0, true)])));
+        // Publishes on either layer arrive as one combined delta.
+        cluster.publish([clause(&[(3, true)])]);
+        global.publish([clause(&[(4, true)])]);
+        let (next, c2) = ClauseSource::clauses_since(&source, c1);
+        assert_eq!(next.len(), 2);
+        assert_eq!(c2, ClauseSource::version(&source));
+        let (none, c3) = ClauseSource::clauses_since(&source, c2);
+        assert!(none.is_empty());
+        assert_eq!(c3, c2);
+    }
+
+    #[test]
+    fn two_level_source_resyncs_on_unknown_cursor() {
+        let cluster = ClauseDb::new();
+        let global = ClauseDb::new();
+        cluster.publish([clause(&[(0, true)])]);
+        global.publish([clause(&[(1, true)])]);
+        let source = TwoLevelSource::new(&cluster, &global);
+        // A cursor the source never handed out: full two-store snapshot.
+        let (all, cursor) = ClauseSource::clauses_since(&source, 0);
+        assert_eq!(all.len(), 2);
+        assert_eq!(cursor, ClauseSource::version(&source));
+        let (none, _) = ClauseSource::clauses_since(&source, cursor);
+        assert!(none.is_empty());
+        assert_eq!(ClauseSource::clauses(&source).len(), 2);
     }
 
     #[test]

@@ -209,14 +209,6 @@ pub(crate) fn check_one(
     pool: &mut CtxPool,
     refresh: bool,
 ) -> PropertyResult {
-    let started = Instant::now();
-    let mut budget = Budget::unlimited();
-    if let Some(d) = opts.per_property {
-        budget = budget.with_timeout(d);
-    }
-    if let Some(d) = deadline {
-        budget = budget.with_deadline(d);
-    }
     // The version is read *before* the snapshot: clauses published in
     // between are both in the snapshot and re-offered by the first
     // refresh, where deduplication drops them — never lost.
@@ -235,6 +227,33 @@ pub(crate) fn check_one(
     } else {
         None
     };
+    check_one_imports(sys, id, assumed, imported, source, opts, deadline, pool)
+}
+
+/// [`check_one`] with the imported clauses and refresh source supplied
+/// by the caller — the clustered driver uses this to import its
+/// cluster-scoped store eagerly while refreshing from a two-level
+/// source. The caller is responsible for only supplying clauses that
+/// are sound for the proof scope in `opts` (§6-B).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn check_one_imports(
+    sys: &TransitionSystem,
+    id: PropertyId,
+    assumed: &[PropertyId],
+    imported: Vec<japrove_logic::Clause>,
+    source: Option<(&dyn ClauseSource, u64)>,
+    opts: &SeparateOptions,
+    deadline: Option<Instant>,
+    pool: &mut CtxPool,
+) -> PropertyResult {
+    let started = Instant::now();
+    let mut budget = Budget::unlimited();
+    if let Some(d) = opts.per_property {
+        budget = budget.with_timeout(d);
+    }
+    if let Some(d) = deadline {
+        budget = budget.with_deadline(d);
+    }
     let backend = opts.backend_of(id);
     let base = opts
         .ic3

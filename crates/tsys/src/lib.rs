@@ -43,6 +43,6 @@ mod witness;
 pub use builder::Word;
 pub use check::{complete_trace, replay, Replay, ReplayError};
 pub use property::{Expectation, Property, PropertyId};
-pub use system::TransitionSystem;
+pub use system::{CoiMap, TransitionSystem};
 pub use trace::Trace;
 pub use witness::{parse_witness, write_witness, ParseWitnessError};

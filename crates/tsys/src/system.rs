@@ -153,6 +153,46 @@ impl TransitionSystem {
         (0..self.properties.len()).map(PropertyId)
     }
 
+    /// Indices of the latches in a property's *sequential* cone of
+    /// influence: the state bits that can affect the property's value
+    /// in some (possibly distant) time frame.
+    ///
+    /// The returned indices are sorted; the drivers use the support
+    /// both to schedule hardest-first (larger support ≈ deeper proof)
+    /// and as the structural affinity signal of property clustering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use japrove_aig::Aig;
+    /// use japrove_tsys::TransitionSystem;
+    ///
+    /// let mut aig = Aig::new();
+    /// let a = aig.add_latch(false);
+    /// let b = aig.add_latch(false);
+    /// aig.set_next(a, !a);
+    /// aig.set_next(b, a); // b's cone pulls in a
+    /// let mut sys = TransitionSystem::new("t", aig);
+    /// let pa = sys.add_property("pa", !a);
+    /// let pb = sys.add_property("pb", !b);
+    /// assert_eq!(sys.latch_support(pa), vec![0]);
+    /// assert_eq!(sys.latch_support(pb), vec![0, 1]);
+    /// ```
+    pub fn latch_support(&self, id: PropertyId) -> Vec<usize> {
+        let cone = japrove_aig::Cone::sequential(&self.aig, [self.property(id).good]);
+        self.aig
+            .latches()
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| cone.contains(l.node))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
     /// Design-level invariant constraints (AIGER `C` lines), assumed
     /// true in every state of every trace.
     pub fn constraints(&self) -> &[AigLit] {
@@ -162,6 +202,156 @@ impl TransitionSystem {
     /// Adds a design-level invariant constraint.
     pub fn add_constraint(&mut self, lit: AigLit) {
         self.constraints.push(lit);
+    }
+
+    /// The cone-of-influence reduction of this system to `props`: a
+    /// system containing exactly the latches, inputs and gates in the
+    /// sequential cones of the given properties (and of every design
+    /// constraint), with those properties — and the constraints —
+    /// carried over.
+    ///
+    /// Cone reduction is sound and complete for safety properties: the
+    /// kept latches evolve identically in both systems, so a property
+    /// holds in the reduction iff it holds here, and reduced
+    /// counterexamples lift back (see [`CoiMap::lift_inputs`]). The
+    /// clustered driver verifies each property cluster on its
+    /// reduction — the whole point of cone-coherent clusters is that
+    /// this cut is deep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a property id is out of range.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use japrove_aig::Aig;
+    /// use japrove_tsys::{TransitionSystem, Word};
+    ///
+    /// let mut aig = Aig::new();
+    /// let a = Word::latches(&mut aig, 3, 0);
+    /// let na = a.increment(&mut aig);
+    /// a.set_next(&mut aig, &na);
+    /// let b = Word::latches(&mut aig, 5, 0);
+    /// let nb = b.increment(&mut aig);
+    /// b.set_next(&mut aig, &nb);
+    /// let pa = a.lt_const(&mut aig, 6);
+    /// let pb = b.lt_const(&mut aig, 30);
+    /// let mut sys = TransitionSystem::new("two", aig);
+    /// let p = sys.add_property("a_ok", pa);
+    /// sys.add_property("b_ok", pb);
+    /// let (sub, map) = sys.restrict_to_cone(&[p]);
+    /// assert_eq!(sub.num_latches(), 3); // b's 5 latches are gone
+    /// assert_eq!(sub.num_properties(), 1);
+    /// assert_eq!(map.properties, vec![p]);
+    /// ```
+    pub fn restrict_to_cone(&self, props: &[PropertyId]) -> (TransitionSystem, CoiMap) {
+        use japrove_aig::{Cone, Node};
+        let aig = &self.aig;
+        let roots = props
+            .iter()
+            .map(|&p| self.property(p).good)
+            .chain(self.constraints.iter().copied());
+        let cone = Cone::sequential(aig, roots);
+
+        let mut sub = Aig::new();
+        // Old node id → new (positive) edge, filled in topological
+        // order so AND operands are always mapped before their gate.
+        let mut node_map: Vec<Option<AigLit>> = vec![None; aig.num_nodes()];
+        let mut latches = Vec::new();
+        let mut inputs = Vec::new();
+        let map_edge = |node_map: &[Option<AigLit>], l: AigLit| -> AigLit {
+            let base = node_map[l.node().index()].expect("operands precede their gate");
+            if l.is_inverted() {
+                !base
+            } else {
+                base
+            }
+        };
+        for id in aig.node_ids() {
+            if !cone.contains(id) {
+                continue;
+            }
+            node_map[id.index()] = Some(match aig.node(id) {
+                Node::False => AigLit::FALSE,
+                Node::Input(i) => {
+                    inputs.push(i as usize);
+                    sub.add_input()
+                }
+                Node::Latch(k) => {
+                    latches.push(k as usize);
+                    sub.add_latch(aig.latches()[k as usize].reset)
+                }
+                Node::And(a, b) => {
+                    let (a, b) = (map_edge(&node_map, a), map_edge(&node_map, b));
+                    sub.and(a, b)
+                }
+            });
+        }
+        // Next-state functions in a second pass: they may point forward
+        // but stay within the sequential cone by construction.
+        for &k in &latches {
+            let latch = aig.latches()[k];
+            let new_latch = map_edge(&node_map, AigLit::new(latch.node, false));
+            let new_next = map_edge(&node_map, latch.next);
+            sub.set_next(new_latch, new_next);
+        }
+
+        let mut reduced = TransitionSystem::new(format!("{}#coi", self.name), sub);
+        for &p in props {
+            let prop = self.property(p);
+            let good = map_edge(&node_map, prop.good);
+            reduced.add_property_with(prop.name.clone(), good, prop.expectation);
+        }
+        for &c in &self.constraints {
+            let lit = map_edge(&node_map, c);
+            reduced.add_constraint(lit);
+        }
+        (
+            reduced,
+            CoiMap {
+                latches,
+                inputs,
+                properties: props.to_vec(),
+                original_inputs: self.num_inputs(),
+            },
+        )
+    }
+}
+
+/// How the elements of a [`TransitionSystem::restrict_to_cone`]
+/// reduction map back onto the original system.
+#[derive(Clone, Debug)]
+pub struct CoiMap {
+    /// `latches[i]` is the original latch index of reduced latch `i`.
+    pub latches: Vec<usize>,
+    /// `inputs[i]` is the original input index of reduced input `i`.
+    pub inputs: Vec<usize>,
+    /// `properties[i]` is the original id of reduced property `i`.
+    pub properties: Vec<PropertyId>,
+    /// Input count of the original system (for lifting input vectors).
+    original_inputs: usize,
+}
+
+impl CoiMap {
+    /// Lifts per-step input vectors of the reduced system back to the
+    /// original input width: kept inputs keep their values, removed
+    /// inputs (which cannot affect the kept cone) are driven `false`.
+    /// Feeding the result to [`crate::complete_trace`] on the original
+    /// system reproduces the reduced trace on the kept latches, which
+    /// is how reduced counterexamples are materialized as original
+    /// ones.
+    pub fn lift_inputs(&self, reduced_inputs: &[Vec<bool>]) -> Vec<Vec<bool>> {
+        reduced_inputs
+            .iter()
+            .map(|step| {
+                let mut full = vec![false; self.original_inputs];
+                for (ri, &oi) in self.inputs.iter().enumerate() {
+                    full[oi] = step[ri];
+                }
+                full
+            })
+            .collect()
     }
 }
 
@@ -209,6 +399,68 @@ mod tests {
         let b = sys.add_property_with("etf", l, Expectation::Fail);
         assert_eq!(sys.property(a).expectation, Expectation::Hold);
         assert_eq!(sys.property(b).expectation, Expectation::Fail);
+    }
+
+    #[test]
+    fn coi_reduction_preserves_behaviour_on_kept_latches() {
+        use crate::{complete_trace, Word};
+        // Two counters, one gated by an input; restrict to the gated
+        // one and check step-for-step agreement under lifted inputs.
+        let mut aig = Aig::new();
+        let gate = aig.add_input();
+        let free = Word::latches(&mut aig, 4, 0);
+        let nf = free.increment(&mut aig);
+        free.set_next(&mut aig, &nf);
+        let gated = Word::latches(&mut aig, 3, 0);
+        let ng = gated.increment(&mut aig);
+        let held = Word::mux(&mut aig, gate, &ng, &gated);
+        gated.set_next(&mut aig, &held);
+        let pg = gated.lt_const(&mut aig, 6);
+        let pf = free.lt_const(&mut aig, 12);
+        let mut sys = TransitionSystem::new("two", aig);
+        let p_gated = sys.add_property("gated_ok", pg);
+        sys.add_property("free_ok", pf);
+
+        let (sub, map) = sys.restrict_to_cone(&[p_gated]);
+        assert_eq!(sub.num_latches(), 3);
+        assert_eq!(sub.num_inputs(), 1);
+        assert_eq!(sub.num_properties(), 1);
+        assert_eq!(map.latches.len(), 3);
+
+        // Drive the reduced system with alternating gate values, lift
+        // the inputs, and compare the kept-latch columns.
+        let reduced_inputs: Vec<Vec<bool>> = (0..8).map(|k| vec![k % 2 == 0]).collect();
+        let reduced = complete_trace(&sub, reduced_inputs.clone());
+        let lifted = map.lift_inputs(&reduced_inputs);
+        assert!(lifted.iter().all(|v| v.len() == sys.num_inputs()));
+        let full = complete_trace(&sys, lifted);
+        for (k, rstate) in reduced.states().iter().enumerate() {
+            for (ri, &oi) in map.latches.iter().enumerate() {
+                assert_eq!(rstate[ri], full.state(k)[oi], "step {k} latch {ri}");
+            }
+        }
+    }
+
+    #[test]
+    fn coi_reduction_keeps_constraint_cones() {
+        use crate::Word;
+        let mut aig = Aig::new();
+        let a = Word::latches(&mut aig, 3, 0);
+        let na = a.increment(&mut aig);
+        a.set_next(&mut aig, &na);
+        let b = Word::latches(&mut aig, 3, 0);
+        let nb = b.increment(&mut aig);
+        b.set_next(&mut aig, &nb);
+        let pa = a.lt_const(&mut aig, 6);
+        let constr = b.lt_const(&mut aig, 4);
+        let mut sys = TransitionSystem::new("constrained", aig);
+        let p = sys.add_property("a_ok", pa);
+        sys.add_constraint(constr);
+        // The constraint's cone (counter b) must survive even though
+        // the property never looks at it.
+        let (sub, _) = sys.restrict_to_cone(&[p]);
+        assert_eq!(sub.num_latches(), 6);
+        assert_eq!(sub.constraints().len(), 1);
     }
 
     #[test]

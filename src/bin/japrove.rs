@@ -7,9 +7,9 @@
 //! property.
 
 use japrove::core::{
-    grouped_verify, ja_verify, joint_verify, local_assumptions, parallel_ja_verify_with,
-    separate_verify, validate_debugging_set, GroupingOptions, JointOptions, MultiReport,
-    ParallelMode, SeparateOptions,
+    grouped_verify, ja_verify, joint_verify, local_assumptions, parallel_clustered_verify,
+    parallel_ja_verify_with, separate_verify, validate_debugging_set, AffinityMetric,
+    ClusteredOptions, GroupingOptions, JointOptions, MultiReport, ParallelMode, SeparateOptions,
 };
 use japrove::ic3::Lifting;
 use japrove::sat::BackendChoice;
@@ -24,9 +24,12 @@ USAGE:
     japrove [OPTIONS] <design.aag|design.aig>
 
 OPTIONS:
-    --mode <ja|joint|separate-global|grouped|parallel|parallel-global>
+    --mode <ja|joint|separate-global|grouped|clustered|parallel|parallel-global>
                               verification driver [default: ja]
-    --threads <N>             workers for the parallel modes [default: 2]
+    --affinity <jaccard|hybrid> affinity metric for --mode clustered
+                              [default: hybrid]
+    --threads <N>             workers for the parallel and clustered
+                              modes [default: 2]
     --schedule <steal|fifo>   parallel dispatch: incremental work-stealing
                               or the cold FIFO baseline [default: steal]
     --backend <cdcl|chrono>   SAT backend for every engine run
@@ -44,6 +47,7 @@ OPTIONS:
 struct Cli {
     path: String,
     mode: String,
+    affinity: AffinityMetric,
     threads: usize,
     schedule: ParallelMode,
     backend: BackendChoice,
@@ -60,6 +64,7 @@ fn parse_args() -> Result<Cli, String> {
     let mut cli = Cli {
         path: String::new(),
         mode: "ja".into(),
+        affinity: AffinityMetric::default(),
         threads: 2,
         schedule: ParallelMode::Incremental,
         backend: BackendChoice::default(),
@@ -83,6 +88,7 @@ fn parse_args() -> Result<Cli, String> {
             "--validate" => cli.validate = true,
             "--no-reuse" => cli.reuse = false,
             "--mode" => cli.mode = value("--mode")?,
+            "--affinity" => cli.affinity = value("--affinity")?.parse()?,
             "--backend" => cli.backend = value("--backend")?.parse()?,
             "--threads" => {
                 cli.threads = value("--threads")?
@@ -170,6 +176,13 @@ fn run(cli: &Cli) -> Result<(MultiReport, TransitionSystem), String> {
         "separate-global" => separate_verify(&sys, &global(sep.clone())),
         "joint" => joint_verify(&sys, &joint),
         "grouped" => grouped_verify(&sys, &GroupingOptions::new().joint(joint)),
+        "clustered" => {
+            let opts = ClusteredOptions::new()
+                .metric(cli.affinity)
+                .separate(global(sep.clone()))
+                .backend(cli.backend);
+            parallel_clustered_verify(&sys, cli.threads, &opts)
+        }
         "parallel" => parallel_ja_verify_with(&sys, cli.threads, &sep, cli.schedule),
         "parallel-global" => {
             parallel_ja_verify_with(&sys, cli.threads, &global(sep.clone()), cli.schedule)

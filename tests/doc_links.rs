@@ -1,0 +1,117 @@
+//! Documentation link check: every relative markdown link in README.md
+//! and docs/*.md must resolve to a file or directory inside the
+//! repository, so the docs cannot silently rot as files move. CI runs
+//! this test by name next to `cargo doc`.
+
+use std::path::{Path, PathBuf};
+
+/// Extracts `](target)` markdown link targets from one line. Good
+/// enough for our docs: links never span lines and never contain `)`.
+fn link_targets(line: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut rest = line;
+    while let Some(open) = rest.find("](") {
+        rest = &rest[open + 2..];
+        if let Some(close) = rest.find(')') {
+            out.push(&rest[..close]);
+            rest = &rest[close + 1..];
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+/// `true` for link targets that point outside the repository or into
+/// the rendered page itself.
+fn is_external(target: &str) -> bool {
+    target.starts_with("http://")
+        || target.starts_with("https://")
+        || target.starts_with("mailto:")
+        || target.starts_with('#')
+}
+
+fn markdown_files() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut files = vec![root.join("README.md")];
+    if let Ok(entries) = std::fs::read_dir(root.join("docs")) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "md") {
+                files.push(path);
+            }
+        }
+    }
+    files
+}
+
+#[test]
+fn relative_links_in_readme_and_docs_resolve() {
+    let mut broken = Vec::new();
+    let mut checked = 0usize;
+    for file in markdown_files() {
+        let text = std::fs::read_to_string(&file)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", file.display()));
+        let dir = file.parent().expect("markdown file has a parent");
+        let mut in_code_block = false;
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim_start().starts_with("```") {
+                in_code_block = !in_code_block;
+                continue;
+            }
+            if in_code_block {
+                continue;
+            }
+            for target in link_targets(line) {
+                if is_external(target) {
+                    continue;
+                }
+                // Drop a #fragment; only the file part must exist.
+                let path_part = target.split('#').next().unwrap_or(target);
+                if path_part.is_empty() {
+                    continue; // pure fragment, handled by is_external
+                }
+                checked += 1;
+                if !dir.join(path_part).exists() {
+                    broken.push(format!(
+                        "{}:{}: broken link '{target}'",
+                        file.display(),
+                        lineno + 1
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        checked >= 3,
+        "expected to find relative links to check (found {checked}) — \
+         did the link extraction break?"
+    );
+    assert!(
+        broken.is_empty(),
+        "broken documentation links:\n{}",
+        broken.join("\n")
+    );
+}
+
+#[test]
+fn docs_directory_is_linked_from_readme() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let readme = std::fs::read_to_string(root.join("README.md")).expect("README.md");
+    assert!(
+        readme.contains("docs/ARCHITECTURE.md"),
+        "README must link the architecture tour"
+    );
+}
+
+#[test]
+fn link_extraction_handles_edge_cases() {
+    assert_eq!(
+        link_targets("see [a](x.md) and [b](y.md#frag)"),
+        vec!["x.md", "y.md#frag"]
+    );
+    assert!(link_targets("no links here").is_empty());
+    assert!(is_external("https://example.org"));
+    assert!(is_external("#anchor"));
+    assert!(!is_external("docs/ARCHITECTURE.md"));
+}
