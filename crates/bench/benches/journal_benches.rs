@@ -1,0 +1,75 @@
+//! Journal overhead micro-benchmarks.
+//!
+//! The observability layer promises *zero measurable overhead when
+//! disabled*: a disabled [`Journal`] reduces every `event`/`span` call
+//! to one `Option` check. These benches pin that down at two scales —
+//! the raw per-call cost (disabled vs enabled), and an end-to-end
+//! pigeonhole solve with the solver's restart/reduce/sample hooks
+//! compiled in but the journal disabled vs enabled.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use japrove_obs::{EventKind, Journal, Phase};
+use japrove_sat::{SolveResult, Solver};
+
+/// Unsatisfiable pigeonhole instance: n+1 pigeons, n holes.
+fn pigeonhole(n: usize) -> Solver {
+    let mut s = Solver::new();
+    let vars: Vec<Vec<_>> = (0..n + 1)
+        .map(|_| (0..n).map(|_| s.new_var()).collect())
+        .collect();
+    for row in &vars {
+        s.add_clause(row.iter().map(|v| v.pos()));
+    }
+    for (a, row_a) in vars.iter().enumerate() {
+        for row_b in &vars[a + 1..] {
+            for (va, vb) in row_a.iter().zip(row_b) {
+                s.add_clause([va.neg(), vb.neg()]);
+            }
+        }
+    }
+    s
+}
+
+fn bench_raw_calls(c: &mut Criterion) {
+    let mut group = c.benchmark_group("journal/raw");
+    let disabled = Journal::disabled();
+    group.bench_function("event_disabled", |b| {
+        b.iter(|| disabled.event(EventKind::Restart { conflicts: 1 }))
+    });
+    group.bench_function("span_disabled", |b| {
+        b.iter(|| drop(disabled.span(Phase::Encode)))
+    });
+    let enabled = Journal::new();
+    group.bench_function("event_enabled", |b| {
+        b.iter(|| enabled.event(EventKind::Restart { conflicts: 1 }))
+    });
+    group.bench_function("span_enabled", |b| {
+        b.iter(|| drop(enabled.span(Phase::Encode)))
+    });
+    group.finish();
+}
+
+fn bench_solver_overhead(c: &mut Criterion) {
+    // The acceptance criterion: a solve with the journal disabled must
+    // be within noise (<1%) of the pre-observability solver. Compare
+    // against an enabled journal to see the (bounded) worst case.
+    let mut group = c.benchmark_group("journal/pigeonhole_solve");
+    group.sample_size(10);
+    group.bench_function("disabled", |b| {
+        b.iter(|| {
+            let mut s = pigeonhole(7);
+            assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        })
+    });
+    group.bench_function("enabled", |b| {
+        b.iter(|| {
+            let mut s = pigeonhole(7);
+            s.set_journal(Journal::new());
+            assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_raw_calls, bench_solver_overhead);
+criterion_main!(benches);

@@ -249,6 +249,7 @@ fn main() -> ExitCode {
     if let Some(path) = json_path {
         let doc = Json::obj([
             ("bench", Json::str("grouping_ablation")),
+            ("provenance", japrove_bench::provenance()),
             ("small", Json::bool(small)),
             ("rows", Json::Arr(rows)),
             (

@@ -173,6 +173,7 @@ fn main() -> ExitCode {
     if let Some(path) = json_path {
         let doc = Json::obj([
             ("bench", Json::str("parallel_scaling")),
+            ("provenance", japrove_bench::provenance()),
             ("design", Json::str(sys.name())),
             ("properties", Json::int(sys.num_properties() as u64)),
             ("latches", Json::int(sys.num_latches() as u64)),

@@ -243,6 +243,49 @@ pub fn write_json(path: &str, value: &Json) -> std::io::Result<()> {
     std::fs::write(path, format!("{value}\n"))
 }
 
+/// The schema version embedded in every bench JSON document; bump when
+/// a field changes meaning or shape.
+pub const BENCH_SCHEMA_VERSION: i64 = 2;
+
+/// Provenance block for bench JSON output: schema version, the git
+/// revision the numbers were produced from (`"unknown"` outside a git
+/// checkout), and the host triple the run cannot be compared across.
+///
+/// # Examples
+///
+/// ```
+/// use japrove_bench::provenance;
+/// let p = provenance().to_string();
+/// assert!(p.contains("\"schema_version\":2"));
+/// assert!(p.contains("\"host\""));
+/// ```
+pub fn provenance() -> Json {
+    let git_rev = std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get() as i64)
+        .unwrap_or(0);
+    Json::obj([
+        ("schema_version", Json::Int(BENCH_SCHEMA_VERSION)),
+        ("git_rev", Json::str(git_rev)),
+        (
+            "host",
+            Json::obj([
+                ("os", Json::str(std::env::consts::OS)),
+                ("arch", Json::str(std::env::consts::ARCH)),
+                ("cpus", Json::Int(cpus)),
+            ]),
+        ),
+    ])
+}
+
 /// Scaled-down stand-ins for the paper's wall-clock limits.
 pub mod limits {
     use std::time::Duration;

@@ -44,9 +44,11 @@ use crate::{
     TwoLevelSource,
 };
 use japrove_ic3::{
-    Certificate, CheckOutcome, ClauseSource, Counterexample, Ic3Options, TsEncoding, UnknownReason,
+    Certificate, CheckOutcome, ClauseSource, Counterexample, Ic3Options, RunStats, TsEncoding,
+    UnknownReason,
 };
 use japrove_logic::{Clause, Var};
+use japrove_obs::{Journal, Phase};
 use japrove_sat::{BackendChoice, Budget};
 use japrove_tsys::{complete_trace, replay, CoiMap, PropertyId, TransitionSystem};
 use std::sync::Arc;
@@ -170,6 +172,14 @@ impl ClusteredOptions {
         self.joint.backend = backend;
         self
     }
+
+    /// Attaches an observability journal to the driver, its joint
+    /// attempts and its per-property fallback.
+    pub fn journal(mut self, journal: Journal) -> Self {
+        self.separate.journal = journal.clone();
+        self.joint.journal = journal;
+        self
+    }
 }
 
 impl Default for ClusteredOptions {
@@ -225,18 +235,22 @@ pub fn parallel_clustered_verify(
 ) -> MultiReport {
     assert!(threads > 0, "need at least one worker thread");
     let started = Instant::now();
+    let journal = &opts.separate.journal;
     let deadline = opts.separate.total.map(|d| Instant::now() + d);
     let assumed = match opts.separate.scope {
         Scope::Local => local_assumptions(sys),
         Scope::Global => Vec::new(),
     };
-    let clusters = affinity_clusters_with(
-        sys,
-        opts.metric,
-        opts.max_group_size,
-        opts.min_affinity,
-        opts.separate.backend,
-    );
+    let clusters = {
+        let _probe_span = journal.span(Phase::AffinityProbe);
+        affinity_clusters_with(
+            sys,
+            opts.metric,
+            opts.max_group_size,
+            opts.min_affinity,
+            opts.separate.backend,
+        )
+    };
 
     // Hardest cluster first: total latch-support size estimates the
     // cluster's proof work, so the long poles start early.
@@ -260,7 +274,10 @@ pub fn parallel_clustered_verify(
 
     let workers = threads.min(clusters.len());
     if workers > 0 {
-        let enc = Arc::new(TsEncoding::new(sys));
+        let enc = {
+            let _enc_span = journal.span(Phase::Encode);
+            Arc::new(TsEncoding::new(sys))
+        };
         let global_db = ClauseDb::new();
         let dispatcher = Dispatcher::new(&jobs, workers);
         let mut results: Vec<PropertyResult> = std::thread::scope(|scope| {
@@ -273,10 +290,12 @@ pub fn parallel_clustered_verify(
                 let assumed = &assumed;
                 handles.push(scope.spawn(move || {
                     let mut pool = CtxPool::with_encoding(enc);
+                    pool.set_journal(opts.separate.journal.clone());
                     let mut mine = Vec::new();
                     while let Some(c) = dispatcher.pop(w) {
                         mine.extend(verify_cluster(
                             sys,
+                            c,
                             &clusters[c],
                             opts,
                             assumed,
@@ -345,8 +364,10 @@ fn lift_counterexample(
 /// Verifies one cluster: optional joint attempt, then warm
 /// per-property checks with two-level clause re-use for whatever the
 /// attempt left open.
+#[allow(clippy::too_many_arguments)]
 fn verify_cluster(
     sys: &TransitionSystem,
+    index: usize,
     cluster: &[PropertyId],
     opts: &ClusteredOptions,
     assumed: &[PropertyId],
@@ -354,6 +375,10 @@ fn verify_cluster(
     deadline: Option<Instant>,
     pool: &mut CtxPool,
 ) -> Vec<PropertyResult> {
+    let _cluster_span = opts.separate.journal.span_labeled(
+        Phase::Cluster,
+        format!("cluster-{index} ({} props)", cluster.len()),
+    );
     let reuse = opts.separate.reuse;
     let cluster_db = ClauseDb::new();
     let mut results = Vec::new();
@@ -406,6 +431,7 @@ fn verify_cluster(
                     frames: r.frames,
                     retried: false,
                     backend: r.backend,
+                    stats: r.stats,
                 });
             }
         }
@@ -425,6 +451,7 @@ fn verify_cluster(
                 frames: 0,
                 retried: false,
                 backend: opts.separate.backend_of(id),
+                stats: RunStats::default(),
             });
             continue;
         }

@@ -9,7 +9,10 @@
 
 use crate::{MultiReport, PropertyResult, Scope};
 use japrove_aig::AigLit;
-use japrove_ic3::{Bmc, BmcResult, CheckOutcome, Counterexample, Ic3, Ic3Options, UnknownReason};
+use japrove_ic3::{
+    Bmc, BmcResult, CheckOutcome, Counterexample, Ic3, Ic3Options, RunStats, UnknownReason,
+};
+use japrove_obs::{Journal, Phase};
 use japrove_sat::{BackendChoice, Budget};
 use japrove_tsys::{replay, PropertyId, TransitionSystem};
 use std::time::{Duration, Instant};
@@ -47,6 +50,9 @@ pub struct JointOptions {
     pub subset: Option<Vec<PropertyId>>,
     /// SAT backend for the aggregate BMC and IC3 runs.
     pub backend: BackendChoice,
+    /// Observability journal the aggregate engines report into.
+    /// Disabled by default.
+    pub journal: Journal,
 }
 
 impl JointOptions {
@@ -59,6 +65,7 @@ impl JointOptions {
             bmc_conflicts: None,
             subset: None,
             backend: BackendChoice::default(),
+            journal: Journal::disabled(),
         }
     }
 
@@ -97,6 +104,12 @@ impl JointOptions {
     /// Selects the SAT backend.
     pub fn backend(mut self, backend: BackendChoice) -> Self {
         self.backend = backend;
+        self
+    }
+
+    /// Attaches an observability journal.
+    pub fn journal(mut self, journal: Journal) -> Self {
+        self.journal = journal;
         self
     }
 }
@@ -187,6 +200,7 @@ pub fn joint_verify(sys: &TransitionSystem, opts: &JointOptions) -> MultiReport 
                        id: PropertyId,
                        outcome: CheckOutcome,
                        frames: usize,
+                       stats: RunStats,
                        t0: Instant| {
         report.results.push(PropertyResult {
             id,
@@ -197,6 +211,7 @@ pub fn joint_verify(sys: &TransitionSystem, opts: &JointOptions) -> MultiReport 
             frames,
             retried: false,
             backend: opts.backend,
+            stats,
         });
     };
 
@@ -209,6 +224,7 @@ pub fn joint_verify(sys: &TransitionSystem, opts: &JointOptions) -> MultiReport 
                     id,
                     CheckOutcome::Unknown(UnknownReason::Budget),
                     0,
+                    RunStats::default(),
                     iteration_start,
                 );
             }
@@ -231,11 +247,13 @@ pub fn joint_verify(sys: &TransitionSystem, opts: &JointOptions) -> MultiReport 
         // Unknown without ever running IC3).
         let mut outcome = None;
         if let Some(depth) = opts.bmc_depth {
+            let _bmc_span = opts.journal.span(Phase::BmcFrontend);
             let bmc_budget = match opts.bmc_conflicts {
                 Some(n) => with_deadline(Budget::conflicts(n)),
                 None => budget,
             };
             let mut bmc = Bmc::with_backend(&agg, opts.backend);
+            bmc.set_journal(opts.journal.clone());
             match bmc.run(&[agg_id], depth, bmc_budget) {
                 BmcResult::Cex { cex, .. } => {
                     outcome = Some(CheckOutcome::Falsified(cex));
@@ -248,13 +266,15 @@ pub fn joint_verify(sys: &TransitionSystem, opts: &JointOptions) -> MultiReport 
                 }
             }
         }
-        let (outcome, frames) = match outcome {
-            Some(o) => (o, 0),
+        let (outcome, frames, stats) = match outcome {
+            Some(o) => (o, 0, RunStats::default()),
             None => {
+                let _joint_span = opts.journal.span(Phase::JointAttempt);
                 let ic3_opts = opts.ic3.budget(budget).backend(opts.backend);
                 let mut engine = Ic3::new(&agg, agg_id, ic3_opts);
+                engine.set_journal(opts.journal.clone());
                 let o = engine.run();
-                (o, engine.stats().frames)
+                (o, engine.stats().frames, *engine.stats())
             }
         };
 
@@ -266,6 +286,7 @@ pub fn joint_verify(sys: &TransitionSystem, opts: &JointOptions) -> MultiReport 
                         id,
                         CheckOutcome::Proved(cert.clone()),
                         frames,
+                        stats,
                         iteration_start,
                     );
                 }
@@ -277,6 +298,7 @@ pub fn joint_verify(sys: &TransitionSystem, opts: &JointOptions) -> MultiReport 
                         id,
                         CheckOutcome::Unknown(r),
                         frames,
+                        stats,
                         iteration_start,
                     );
                 }
@@ -295,6 +317,7 @@ pub fn joint_verify(sys: &TransitionSystem, opts: &JointOptions) -> MultiReport 
                             id,
                             CheckOutcome::Unknown(UnknownReason::SpuriousCex),
                             frames,
+                            stats,
                             iteration_start,
                         );
                     }
@@ -306,6 +329,7 @@ pub fn joint_verify(sys: &TransitionSystem, opts: &JointOptions) -> MultiReport 
                         id,
                         CheckOutcome::Falsified(cex.clone()),
                         frames,
+                        stats,
                         iteration_start,
                     );
                 }

@@ -33,6 +33,7 @@ use crate::separate::{check_one, local_assumptions, CtxPool};
 use crate::ClauseDb;
 use crate::{MultiReport, PropertyResult, Scope, SeparateOptions};
 use japrove_ic3::{CheckOutcome, TsEncoding};
+use japrove_obs::Phase;
 use japrove_tsys::{PropertyId, TransitionSystem};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -247,7 +248,10 @@ fn run_incremental(
         return Vec::new();
     }
     // Encode once; every worker's pool shares this.
-    let enc = Arc::new(TsEncoding::new(sys));
+    let enc = {
+        let _enc_span = opts.journal.span(Phase::Encode);
+        Arc::new(TsEncoding::new(sys))
+    };
     // Hardest first: larger sequential cones tend to need deeper
     // proofs, so starting them early keeps the tail short. Ties keep
     // declaration order for determinism.
@@ -264,6 +268,7 @@ fn run_incremental(
             let db = db.clone();
             handles.push(scope.spawn(move || {
                 let mut pool = CtxPool::with_encoding(enc);
+                pool.set_journal(opts.journal.clone());
                 let mut mine = Vec::new();
                 while let Some(i) = dispatcher.pop(w) {
                     let result =
@@ -314,6 +319,7 @@ fn run_cold_fifo(
                     // solvers, no mid-run refresh — faithful to the
                     // pre-incremental driver this mode benchmarks.
                     let mut pool = CtxPool::new(sys);
+                    pool.set_journal(opts.journal.clone());
                     let result = check_one(
                         sys, order[i], assumed, &db, opts, deadline, &mut pool, false,
                     );

@@ -1,6 +1,6 @@
 //! Multi-property verification reports.
 
-use japrove_ic3::{CheckOutcome, Counterexample};
+use japrove_ic3::{CheckOutcome, Counterexample, RunStats};
 use japrove_sat::BackendChoice;
 use japrove_tsys::PropertyId;
 use std::fmt;
@@ -46,6 +46,11 @@ pub struct PropertyResult {
     pub retried: bool,
     /// SAT backend that produced this verdict.
     pub backend: BackendChoice,
+    /// Engine counters for this property's run, including the SAT
+    /// effort attributable to it (warm solvers report deltas). Default
+    /// (all zeros) for verdicts that never reached an engine, e.g.
+    /// deadline-expired properties.
+    pub stats: RunStats,
 }
 
 impl PropertyResult {
@@ -208,6 +213,7 @@ mod tests {
             frames: 1,
             retried: false,
             backend: BackendChoice::default(),
+            stats: RunStats::default(),
         }
     }
 

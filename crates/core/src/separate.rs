@@ -6,7 +6,10 @@
 //! with or without clause re-use.
 
 use crate::{ClauseDb, MultiReport, PropertyResult, Scope};
-use japrove_ic3::{CheckOutcome, ClauseSource, Ic3Options, Lifting, SolverCtx, TsEncoding};
+use japrove_ic3::{
+    CheckOutcome, ClauseSource, Ic3Options, Lifting, RunStats, SolverCtx, TsEncoding,
+};
+use japrove_obs::{Journal, Phase};
 use japrove_sat::{BackendChoice, Budget};
 use japrove_tsys::{replay, Expectation, PropertyId, TransitionSystem};
 use std::sync::Arc;
@@ -20,6 +23,7 @@ use std::time::{Duration, Instant};
 pub(crate) struct CtxPool {
     enc: Arc<TsEncoding>,
     ctxs: Vec<SolverCtx>,
+    journal: Journal,
 }
 
 impl CtxPool {
@@ -33,7 +37,17 @@ impl CtxPool {
         CtxPool {
             enc,
             ctxs: Vec::new(),
+            journal: Journal::disabled(),
         }
+    }
+
+    /// Attaches a journal; contexts already in the pool and those
+    /// created later all report into it.
+    pub(crate) fn set_journal(&mut self, journal: Journal) {
+        for ctx in &mut self.ctxs {
+            ctx.set_journal(journal.clone());
+        }
+        self.journal = journal;
     }
 
     /// The context for `backend`, created on first use.
@@ -41,8 +55,9 @@ impl CtxPool {
         let i = match self.ctxs.iter().position(|c| c.backend() == backend) {
             Some(i) => i,
             None => {
-                self.ctxs
-                    .push(SolverCtx::with_encoding(Arc::clone(&self.enc), backend));
+                let mut ctx = SolverCtx::with_encoding(Arc::clone(&self.enc), backend);
+                ctx.set_journal(self.journal.clone());
+                self.ctxs.push(ctx);
                 self.ctxs.len() - 1
             }
         };
@@ -86,6 +101,10 @@ pub struct SeparateOptions {
     /// Per-property backend overrides: the portfolio assignment. Later
     /// entries win, so appending is enough to re-assign a property.
     pub backend_overrides: Vec<(PropertyId, BackendChoice)>,
+    /// Observability journal the driver, its engines and their solvers
+    /// report into. Disabled by default (and then free: every probe is
+    /// one pointer check).
+    pub journal: Journal,
 }
 
 impl SeparateOptions {
@@ -101,6 +120,7 @@ impl SeparateOptions {
             order: None,
             backend: BackendChoice::default(),
             backend_overrides: Vec::new(),
+            journal: Journal::disabled(),
         }
     }
 
@@ -169,6 +189,12 @@ impl SeparateOptions {
     /// Sets the base engine options.
     pub fn ic3(mut self, ic3: Ic3Options) -> Self {
         self.ic3 = ic3;
+        self
+    }
+
+    /// Attaches an observability journal.
+    pub fn journal(mut self, journal: Journal) -> Self {
+        self.journal = journal;
         self
     }
 }
@@ -247,6 +273,9 @@ pub(crate) fn check_one_imports(
     pool: &mut CtxPool,
 ) -> PropertyResult {
     let started = Instant::now();
+    let _span = opts
+        .journal
+        .span_labeled(Phase::Property, sys.property(id).name.as_str());
     let mut budget = Budget::unlimited();
     if let Some(d) = opts.per_property {
         budget = budget.with_timeout(d);
@@ -261,7 +290,7 @@ pub(crate) fn check_one_imports(
         .budget(budget)
         .backend(backend);
     let ctx = pool.get(backend);
-    let (mut outcome, stats) = ctx.check(sys, id, base, assumed, imported.clone(), source);
+    let (mut outcome, mut stats) = ctx.check(sys, id, base, assumed, imported.clone(), source);
     let mut frames = stats.frames;
     let mut retried = false;
 
@@ -281,6 +310,13 @@ pub(crate) fn check_one_imports(
                 let (o, s) = ctx.check(sys, id, strict, assumed, imported, source);
                 outcome = o;
                 frames = s.frames;
+                // Both runs worked on this property; report their sum.
+                stats.sat += s.sat;
+                stats.queries += s.queries;
+                stats.obligations += s.obligations;
+                stats.generalized_lits += s.generalized_lits;
+                stats.clauses = s.clauses;
+                stats.frames = s.frames;
             }
         }
     }
@@ -294,6 +330,7 @@ pub(crate) fn check_one_imports(
         frames,
         retried,
         backend,
+        stats,
     }
 }
 
@@ -365,7 +402,11 @@ pub fn separate_verify(sys: &TransitionSystem, opts: &SeparateOptions) -> MultiR
         (Scope::Global, false) => "separate-global (no reuse)",
     };
     let mut report = MultiReport::new(sys.name(), method);
-    let mut pool = CtxPool::new(sys);
+    let mut pool = {
+        let _enc_span = opts.journal.span(Phase::Encode);
+        CtxPool::new(sys)
+    };
+    pool.set_journal(opts.journal.clone());
     for id in order {
         if deadline.is_some_and(|d| Instant::now() >= d) {
             report.results.push(PropertyResult {
@@ -377,6 +418,7 @@ pub fn separate_verify(sys: &TransitionSystem, opts: &SeparateOptions) -> MultiR
                 frames: 0,
                 retried: false,
                 backend: opts.backend_of(id),
+                stats: RunStats::default(),
             });
             continue;
         }

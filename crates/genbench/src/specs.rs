@@ -140,6 +140,27 @@ pub fn parallel_spec() -> FamilyParams {
         .easy_true(8)
 }
 
+/// Looks up a named benchmark spec across every list in this module
+/// (the CLI's `--gen <name>` resolver). `None` if no spec has that
+/// name; [`spec_names`] lists the valid ones.
+pub fn spec_by_name(name: &str) -> Option<FamilyParams> {
+    all_specs().into_iter().find(|s| s.name == name)
+}
+
+/// The names of every benchmark spec, in registration order.
+pub fn spec_names() -> Vec<String> {
+    all_specs().into_iter().map(|s| s.name).collect()
+}
+
+fn all_specs() -> Vec<FamilyParams> {
+    let mut specs = many_props_specs();
+    specs.extend(failing_specs());
+    specs.extend(all_true_specs());
+    specs.push(probe_spec());
+    specs.push(parallel_spec());
+    specs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,6 +196,20 @@ mod tests {
             assert!(debug >= 1, "{}", spec.name);
             assert!(debug <= failures, "{}", spec.name);
         }
+    }
+
+    #[test]
+    fn spec_lookup_finds_every_name_exactly_once() {
+        let names = spec_names();
+        for name in &names {
+            let spec = spec_by_name(name).expect("listed name resolves");
+            assert_eq!(&spec.name, name);
+        }
+        let mut unique = names.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len(), "duplicate spec name");
+        assert!(spec_by_name("no_such_design").is_none());
     }
 
     #[test]

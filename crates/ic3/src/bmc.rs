@@ -3,8 +3,10 @@
 use crate::{Counterexample, UnknownReason};
 use japrove_aig::CnfEncoder;
 use japrove_logic::{Lit, Var};
+use japrove_obs::{EventKind, Journal};
 use japrove_sat::{BackendChoice, Budget, SatBackend, SolveResult};
 use japrove_tsys::{PropertyId, Trace, TransitionSystem};
+use std::time::Instant;
 
 /// Outcome of a BMC run.
 #[derive(Clone, Debug)]
@@ -74,6 +76,7 @@ pub struct Bmc<'a> {
     /// clauses, so an UNSAT answer comes with a core naming the reset
     /// bits the refutation actually needed.
     init_assumptions: Vec<Lit>,
+    journal: Journal,
 }
 
 impl<'a> Bmc<'a> {
@@ -105,6 +108,7 @@ impl<'a> Bmc<'a> {
             input_vars: Vec::new(),
             good_lits: Vec::new(),
             init_assumptions: Vec::new(),
+            journal: Journal::disabled(),
         };
         // Frame 0 state variables, constrained to the initial state —
         // by unit clauses normally, by recorded assumptions in probing
@@ -131,6 +135,14 @@ impl<'a> Bmc<'a> {
     /// Name of the SAT backend this checker runs on.
     pub fn backend_name(&self) -> &'static str {
         self.solver.backend_name()
+    }
+
+    /// Attaches an observability journal; each queried depth emits an
+    /// `unroll` event with its duration and the solver reports its
+    /// restart/reduction/conflict samples into the same journal.
+    pub fn set_journal(&mut self, journal: Journal) {
+        self.solver.set_journal(journal.clone());
+        self.journal = journal;
     }
 
     /// Number of fully encoded frames (depths `0..frames()` are
@@ -196,6 +208,18 @@ impl<'a> Bmc<'a> {
     /// Checks whether some property in `props` can be violated at
     /// exactly depth `k`. Returns the witness on success.
     pub fn check_at(&mut self, props: &[PropertyId], k: usize, budget: Budget) -> BmcResult {
+        let started = self.journal.enabled().then(Instant::now);
+        let result = self.check_at_inner(props, k, budget);
+        if let Some(started) = started {
+            self.journal.event(EventKind::Unroll {
+                depth: k,
+                dur_us: started.elapsed().as_micros() as u64,
+            });
+        }
+        result
+    }
+
+    fn check_at_inner(&mut self, props: &[PropertyId], k: usize, budget: Budget) -> BmcResult {
         self.extend_to(k);
         self.solver.set_budget(budget);
         // OR of the bad literals at frame k, via an auxiliary variable.

@@ -16,6 +16,7 @@
 
 use crate::{CheckOutcome, Ic3, Ic3Options, RunStats, TsEncoding};
 use japrove_logic::Clause;
+use japrove_obs::Journal;
 use japrove_sat::{BackendChoice, SatBackend};
 use japrove_tsys::{PropertyId, TransitionSystem};
 use std::sync::Arc;
@@ -89,6 +90,7 @@ pub struct SolverCtx {
     backend: BackendChoice,
     cons: Option<Box<dyn SatBackend>>,
     lift: Option<Box<dyn SatBackend>>,
+    journal: Journal,
 }
 
 impl std::fmt::Debug for SolverCtx {
@@ -116,12 +118,24 @@ impl SolverCtx {
             backend,
             cons: None,
             lift: None,
+            journal: Journal::disabled(),
         }
     }
 
     /// The shared encoding.
     pub fn encoding(&self) -> &Arc<TsEncoding> {
         &self.enc
+    }
+
+    /// Attaches an observability journal; every engine warmed on this
+    /// context (and its solver pair) reports into it.
+    pub fn set_journal(&mut self, journal: Journal) {
+        self.journal = journal;
+    }
+
+    /// The attached journal (disabled by default).
+    pub fn journal(&self) -> &Journal {
+        &self.journal
     }
 
     /// The backend every solver of this context is built on.

@@ -18,11 +18,13 @@ use crate::{
     UnknownReason,
 };
 use japrove_logic::{Clause, Cube, Lit, Var};
-use japrove_sat::{SatBackend, SolveResult};
+use japrove_obs::{EventKind, Journal};
+use japrove_sat::{SatBackend, SolveResult, SolverStats};
 use japrove_tsys::{complete_trace, PropertyId, TransitionSystem};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Result of a consecution query.
 enum Consecution {
@@ -114,6 +116,26 @@ pub struct Ic3<'a> {
     lift_temp: usize,
     stats: RunStats,
     obligations: Vec<Obligation>,
+    journal: Journal,
+    /// SAT counters folded in from solvers this run already replaced
+    /// (see [`Ic3::rebuild_cons`]).
+    sat_acc: SolverStats,
+    /// Counter snapshots of the *current* solver pair at attach time;
+    /// warm solvers arrive with history that is not this run's.
+    cons_base: SolverStats,
+    lift_base: SolverStats,
+    /// In-progress frame timing for the journal's `frame` events.
+    frame_mark: Option<FrameMark>,
+}
+
+/// Progress snapshot taken when a frame opens, turned into one
+/// [`EventKind::Frame`] when the frame finishes.
+struct FrameMark {
+    frame: usize,
+    started: Instant,
+    obligations: u64,
+    gen_lits: u64,
+    clauses: usize,
 }
 
 impl<'a> Ic3<'a> {
@@ -173,7 +195,9 @@ impl<'a> Ic3<'a> {
         );
         let cons = ctx.take_cons();
         let lift = ctx.take_lift();
-        Ic3::build(sys, enc, cons, lift, prop, opts, assumed, imported, source)
+        let mut engine = Ic3::build(sys, enc, cons, lift, prop, opts, assumed, imported, source);
+        engine.set_journal(ctx.journal().clone());
+        engine
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -197,6 +221,8 @@ impl<'a> Ic3<'a> {
             Some((s, v)) => (Some(s), v),
             None => (None, 0),
         };
+        let cons_base = *cons.stats();
+        let lift_base = *lift.stats();
         let mut engine = Ic3 {
             sys,
             enc,
@@ -217,6 +243,11 @@ impl<'a> Ic3<'a> {
             lift_temp: 0,
             stats: RunStats::default(),
             obligations: Vec::new(),
+            journal: Journal::disabled(),
+            sat_acc: SolverStats::default(),
+            cons_base,
+            lift_base,
+            frame_mark: None,
         };
         engine.install_cons_run();
         engine
@@ -245,6 +276,22 @@ impl<'a> Ic3<'a> {
         &self.stats
     }
 
+    /// Attaches an observability journal to the engine and its solver
+    /// pair; the engine reports per-frame timings and clause-import
+    /// hit rates, the solvers restarts/reductions/samples.
+    pub fn set_journal(&mut self, journal: Journal) {
+        self.cons.set_journal(journal.clone());
+        self.lift.set_journal(journal.clone());
+        self.journal = journal;
+    }
+
+    /// SAT counters attributable to this run: the current solver
+    /// pair's deltas over their attach-time snapshots, plus whatever
+    /// replaced solvers accumulated.
+    fn current_sat(&self) -> SolverStats {
+        self.sat_acc + (*self.cons.stats() - self.cons_base) + (*self.lift.stats() - self.lift_base)
+    }
+
     /// Name of the SAT backend this engine runs on.
     pub fn backend_name(&self) -> &'static str {
         self.cons.backend_name()
@@ -252,6 +299,13 @@ impl<'a> Ic3<'a> {
 
     /// Runs the engine to completion (or budget exhaustion).
     pub fn run(&mut self) -> CheckOutcome {
+        let outcome = self.run_inner();
+        self.flush_frame_mark();
+        self.stats.sat = self.current_sat();
+        outcome
+    }
+
+    fn run_inner(&mut self) -> CheckOutcome {
         // 0-step base case: an initial state (under some inputs)
         // violating the property.
         self.stats.queries += 1;
@@ -272,6 +326,7 @@ impl<'a> Ic3<'a> {
         let mut k = 1;
         loop {
             self.stats.frames = k;
+            self.begin_frame_mark(k);
             // Pick up clauses other workers published since the last
             // frame — long-running proofs see more than their initial
             // snapshot.
@@ -376,14 +431,53 @@ impl<'a> Ic3<'a> {
     }
 
     fn rebuild_cons(&mut self) {
+        // Fold the retiring solver's contribution into the run's SAT
+        // stats before dropping it.
+        self.sat_acc += *self.cons.stats() - self.cons_base;
         self.cons = base_cons(&self.enc, self.opts.backend);
+        self.cons.set_journal(self.journal.clone());
+        self.cons_base = *self.cons.stats();
         self.cons_temp = 0;
         self.install_cons_run();
     }
 
     fn rebuild_lift(&mut self) {
+        self.sat_acc += *self.lift.stats() - self.lift_base;
         self.lift = base_lift(&self.enc, self.opts.backend);
+        self.lift.set_journal(self.journal.clone());
+        self.lift_base = *self.lift.stats();
         self.lift_temp = 0;
+    }
+
+    /// Closes the pending frame mark (if any) as a journal `frame`
+    /// event and opens one for frame `k`. No-op on a disabled journal.
+    fn begin_frame_mark(&mut self, k: usize) {
+        if !self.journal.enabled() {
+            return;
+        }
+        self.flush_frame_mark();
+        self.frame_mark = Some(FrameMark {
+            frame: k,
+            started: Instant::now(),
+            obligations: self.stats.obligations,
+            gen_lits: self.stats.generalized_lits,
+            clauses: self.stats.clauses,
+        });
+    }
+
+    /// Emits the in-progress frame's `frame` event, reporting the
+    /// counter deltas accumulated since the frame opened.
+    fn flush_frame_mark(&mut self) {
+        let Some(m) = self.frame_mark.take() else {
+            return;
+        };
+        self.journal.event(EventKind::Frame {
+            frame: m.frame,
+            dur_us: m.started.elapsed().as_micros() as u64,
+            clauses: (self.stats.clauses as u64).saturating_sub(m.clauses as u64),
+            obligations: self.stats.obligations - m.obligations,
+            gen_lits: self.stats.generalized_lits - m.gen_lits,
+        });
     }
 
     /// Folds clauses published to the attached [`ClauseSource`] since
@@ -404,6 +498,8 @@ impl<'a> Ic3<'a> {
         let act = self
             .imported_act
             .expect("import guard allocated when a source is attached");
+        let offered = fresh.len();
+        let mut added = 0usize;
         for clause in fresh {
             let Some(normalized) = clause.normalized() else {
                 continue;
@@ -411,7 +507,13 @@ impl<'a> Ic3<'a> {
             if self.imported_set.insert(normalized.clone()) {
                 self.cons.add_clause_guarded(act, normalized.lits());
                 self.imported.push(normalized);
+                added += 1;
             }
+        }
+        if offered > 0 {
+            // Import hit/miss: `added` of the `offered` delta were new
+            // to this engine, the rest were already present.
+            self.journal.event(EventKind::Import { offered, added });
         }
     }
 

@@ -1,6 +1,7 @@
 //! Verdicts, certificates and statistics.
 
 use japrove_logic::Clause;
+use japrove_sat::SolverStats;
 use japrove_tsys::Trace;
 use std::fmt;
 
@@ -131,14 +132,18 @@ pub struct RunStats {
     pub obligations: u64,
     /// Counterexamples-to-induction generalized away.
     pub generalized_lits: u64,
+    /// SAT-solver counters spent by this run (the consecution and
+    /// lifting solvers' deltas — warm solvers subtract their
+    /// pre-existing counts, so this is attributable to *this* run).
+    pub sat: SolverStats,
 }
 
 impl fmt::Display for RunStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "frames={} queries={} clauses={} obligations={}",
-            self.frames, self.queries, self.clauses, self.obligations
+            "frames={} queries={} clauses={} obligations={} {}",
+            self.frames, self.queries, self.clauses, self.obligations, self.sat
         )
     }
 }

@@ -1,0 +1,281 @@
+//! The persistent feature store: per-(design, property) cost records
+//! accumulated across runs.
+//!
+//! This is the explicit substrate for the learned-scheduling ROADMAP
+//! item: a scheduler that wants to order or cluster properties by
+//! *observed* cost reads the [`RunRecord`]s of earlier runs instead of
+//! guessing from COI size. Records are keyed by the design's
+//! structural hash (so renamed files with identical logic share
+//! history) plus the property name, and stored as JSONL so stores
+//! diff, merge and grep cleanly.
+
+use crate::json::Value;
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+/// Observed features of one property's verification in one run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunRecord {
+    /// Structural hash of the design, in fixed-width hex.
+    pub design: String,
+    /// The property's name.
+    pub property: String,
+    /// The driver mode that produced this record (`ja`, `clustered`,
+    /// …).
+    pub mode: String,
+    /// Final verdict: `holds`, `fails` or `unknown`.
+    pub verdict: String,
+    /// Wall-clock spent on the property, in microseconds.
+    pub time_us: u64,
+    /// IC3 frames reached.
+    pub frames: u64,
+    /// SAT conflicts spent.
+    pub conflicts: u64,
+    /// SAT decisions spent.
+    pub decisions: u64,
+    /// Unit propagations performed.
+    pub propagations: u64,
+    /// Solver restarts performed.
+    pub restarts: u64,
+}
+
+impl RunRecord {
+    /// Serializes to one JSONL object.
+    pub fn to_json(&self) -> Value {
+        let int = |x: u64| Value::Int(x as i64);
+        Value::Obj(vec![
+            ("design".into(), Value::Str(self.design.clone())),
+            ("property".into(), Value::Str(self.property.clone())),
+            ("mode".into(), Value::Str(self.mode.clone())),
+            ("verdict".into(), Value::Str(self.verdict.clone())),
+            ("time_us".into(), int(self.time_us)),
+            ("frames".into(), int(self.frames)),
+            ("conflicts".into(), int(self.conflicts)),
+            ("decisions".into(), int(self.decisions)),
+            ("propagations".into(), int(self.propagations)),
+            ("restarts".into(), int(self.restarts)),
+        ])
+    }
+
+    /// Decodes one JSONL object.
+    pub fn from_json(v: &Value) -> Result<RunRecord, StoreError> {
+        let s = |name: &'static str| {
+            v.get(name)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or(StoreError::Field(name))
+        };
+        let n = |name: &'static str| {
+            v.get(name)
+                .and_then(Value::as_u64)
+                .ok_or(StoreError::Field(name))
+        };
+        Ok(RunRecord {
+            design: s("design")?,
+            property: s("property")?,
+            mode: s("mode")?,
+            verdict: s("verdict")?,
+            time_us: n("time_us")?,
+            frames: n("frames")?,
+            conflicts: n("conflicts")?,
+            decisions: n("decisions")?,
+            propagations: n("propagations")?,
+            restarts: n("restarts")?,
+        })
+    }
+}
+
+/// Why a feature-store file failed to load.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The file could not be read or written.
+    Io(io::Error),
+    /// A line is not valid JSON.
+    Json(usize, String),
+    /// A record is missing or mistypes a field (named).
+    Field(&'static str),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "feature store I/O error: {e}"),
+            StoreError::Json(line, e) => write!(f, "feature store line {line}: {e}"),
+            StoreError::Field(name) => write!(f, "feature store record: bad field '{name}'"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+/// A load-merge-save collection of [`RunRecord`]s keyed by
+/// `(design, property, mode)` — the newest record per key wins.
+///
+/// # Examples
+///
+/// ```
+/// use japrove_obs::{FeatureStore, RunRecord};
+///
+/// let mut store = FeatureStore::default();
+/// store.upsert(RunRecord {
+///     design: "00000000deadbeef".into(),
+///     property: "p0".into(),
+///     mode: "clustered".into(),
+///     verdict: "holds".into(),
+///     time_us: 1500,
+///     frames: 3,
+///     conflicts: 40,
+///     decisions: 90,
+///     propagations: 900,
+///     restarts: 1,
+/// });
+/// assert_eq!(store.len(), 1);
+/// assert!(store.get("00000000deadbeef", "p0").is_some());
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FeatureStore {
+    records: Vec<RunRecord>,
+}
+
+impl FeatureStore {
+    /// Loads a store from a JSONL file; a missing file is an empty
+    /// store (first run), any other error is reported.
+    pub fn load(path: impl AsRef<Path>) -> Result<FeatureStore, StoreError> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(FeatureStore::default()),
+            Err(e) => return Err(e.into()),
+        };
+        let mut store = FeatureStore::default();
+        for (i, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = Value::parse(line).map_err(|e| StoreError::Json(i + 1, e.to_string()))?;
+            store.upsert(RunRecord::from_json(&v)?);
+        }
+        Ok(store)
+    }
+
+    /// Writes the store back as JSONL, one record per line.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), StoreError> {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_json().to_string());
+            out.push('\n');
+        }
+        std::fs::write(path, out)?;
+        Ok(())
+    }
+
+    /// Inserts `record`, replacing any existing record with the same
+    /// `(design, property, mode)` key.
+    pub fn upsert(&mut self, record: RunRecord) {
+        match self.records.iter_mut().find(|r| {
+            r.design == record.design && r.property == record.property && r.mode == record.mode
+        }) {
+            Some(existing) => *existing = record,
+            None => self.records.push(record),
+        }
+    }
+
+    /// The most recent record for `(design, property)` in any mode
+    /// (the one a scheduler typically wants), preferring exact-mode
+    /// lookups via [`FeatureStore::records`] when it matters.
+    pub fn get(&self, design: &str, property: &str) -> Option<&RunRecord> {
+        self.records
+            .iter()
+            .find(|r| r.design == design && r.property == property)
+    }
+
+    /// Every stored record, in insertion order.
+    pub fn records(&self) -> &[RunRecord] {
+        &self.records
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the store has no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(property: &str, mode: &str, time_us: u64) -> RunRecord {
+        RunRecord {
+            design: "0123456789abcdef".into(),
+            property: property.into(),
+            mode: mode.into(),
+            verdict: "holds".into(),
+            time_us,
+            frames: 2,
+            conflicts: 10,
+            decisions: 20,
+            propagations: 200,
+            restarts: 0,
+        }
+    }
+
+    #[test]
+    fn upsert_replaces_same_key_only() {
+        let mut store = FeatureStore::default();
+        store.upsert(record("p0", "ja", 100));
+        store.upsert(record("p0", "clustered", 200));
+        store.upsert(record("p0", "ja", 150));
+        assert_eq!(store.len(), 2);
+        let ja = store.records().iter().find(|r| r.mode == "ja").unwrap();
+        assert_eq!(ja.time_us, 150);
+    }
+
+    #[test]
+    fn load_save_round_trip() {
+        let dir = std::env::temp_dir().join(format!("japrove_store_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.jsonl");
+        let mut store = FeatureStore::default();
+        store.upsert(record("p0", "ja", 100));
+        store.upsert(record("p1", "ja", 250));
+        store.save(&path).unwrap();
+        let loaded = FeatureStore::load(&path).unwrap();
+        assert_eq!(loaded, store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_store() {
+        let store = FeatureStore::load("/nonexistent/japrove/store.jsonl").unwrap();
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_numbers() {
+        let dir = std::env::temp_dir().join(format!("japrove_store_bad_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.jsonl");
+        std::fs::write(&path, "{\"design\":\"x\"}\n").unwrap();
+        match FeatureStore::load(&path) {
+            Err(StoreError::Field(name)) => assert_eq!(name, "property"),
+            other => panic!("expected a field error, got {other:?}"),
+        }
+        std::fs::write(&path, "not json\n").unwrap();
+        assert!(matches!(
+            FeatureStore::load(&path),
+            Err(StoreError::Json(1, _))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -39,6 +39,7 @@
 
 use crate::{Budget, SolveResult, Solver, SolverStats};
 use japrove_logic::{LBool, Lit, Var};
+use japrove_obs::Journal;
 use std::fmt;
 use std::str::FromStr;
 
@@ -87,6 +88,10 @@ pub trait SatBackend: fmt::Debug + Send {
 
     /// Cumulative statistics of this solver instance.
     fn stats(&self) -> &SolverStats;
+
+    /// Attaches an observability journal; backends that cannot report
+    /// (e.g. FFI stubs) may ignore it, which is the default.
+    fn set_journal(&mut self, _journal: Journal) {}
 
     /// Returns `false` once the clause set is known unsatisfiable
     /// regardless of assumptions.
@@ -164,6 +169,10 @@ impl SatBackend for Solver {
 
     fn stats(&self) -> &SolverStats {
         Solver::stats(self)
+    }
+
+    fn set_journal(&mut self, journal: Journal) {
+        Solver::set_journal(self, journal);
     }
 
     fn is_ok(&self) -> bool {

@@ -4,6 +4,7 @@ use crate::heap::VarOrder;
 use crate::store::{ClauseRef, ClauseStore};
 use crate::{Budget, SolverStats};
 use japrove_logic::{Assignment, LBool, Lit, Var};
+use japrove_obs::{EventKind, Journal, SAMPLE_INTERVAL};
 
 /// Outcome of a [`Solver::solve`] call.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -89,6 +90,9 @@ pub struct Solver {
     budget: Budget,
     stats: SolverStats,
     max_learnts: f64,
+    /// Observability sink for restart/reduction/progress samples;
+    /// disabled (free) unless a driver attaches an enabled journal.
+    journal: Journal,
     /// Backtrack chronologically (one level per conflict) instead of
     /// backjumping to the asserting level.
     chrono: bool,
@@ -125,6 +129,14 @@ impl Solver {
     /// `true` if this solver backtracks chronologically.
     pub fn is_chronological(&self) -> bool {
         self.chrono
+    }
+
+    /// Attaches an observability journal. The solver reports restarts,
+    /// learnt-database reductions and a progress sample every
+    /// [`japrove_obs::SAMPLE_INTERVAL`] conflicts; with the default
+    /// disabled journal every report site is a single pointer check.
+    pub fn set_journal(&mut self, journal: Journal) {
+        self.journal = journal;
     }
 
     /// Allocates a fresh variable.
@@ -278,6 +290,9 @@ impl Solver {
                 SearchOutcome::Restart => {
                     restarts += 1;
                     self.stats.restarts += 1;
+                    self.journal.event(EventKind::Restart {
+                        conflicts: self.stats.conflicts,
+                    });
                     self.cancel_until(0);
                 }
                 SearchOutcome::Budget => {
@@ -659,6 +674,10 @@ impl Solver {
             self.store.remove(cref);
             self.stats.deleted_clauses += 1;
         }
+        self.journal.event(EventKind::Reduce {
+            learnt: learnts.len(),
+            removed: to_remove,
+        });
     }
 
     fn compute_lbd(&mut self, lits: &[Lit]) -> u32 {
@@ -682,6 +701,15 @@ impl Solver {
             if let Some(conflict) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_here += 1;
+                // Conflict-rate sampling: the modulo keeps the
+                // disabled-journal cost to one branch per conflict.
+                if self.stats.conflicts % SAMPLE_INTERVAL == 0 {
+                    self.journal.event(EventKind::Sample {
+                        conflicts: self.stats.conflicts,
+                        decisions: self.stats.decisions,
+                        propagations: self.stats.propagations,
+                    });
+                }
                 if self.decision_level() == 0 {
                     self.ok = false;
                     self.core.clear();

@@ -32,6 +32,46 @@ pub struct SolverStats {
     pub restarts: u64,
 }
 
+impl std::ops::Add for SolverStats {
+    type Output = SolverStats;
+
+    fn add(self, rhs: SolverStats) -> SolverStats {
+        SolverStats {
+            solves: self.solves + rhs.solves,
+            decisions: self.decisions + rhs.decisions,
+            propagations: self.propagations + rhs.propagations,
+            conflicts: self.conflicts + rhs.conflicts,
+            learnt_clauses: self.learnt_clauses + rhs.learnt_clauses,
+            deleted_clauses: self.deleted_clauses + rhs.deleted_clauses,
+            restarts: self.restarts + rhs.restarts,
+        }
+    }
+}
+
+impl std::ops::AddAssign for SolverStats {
+    fn add_assign(&mut self, rhs: SolverStats) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::ops::Sub for SolverStats {
+    type Output = SolverStats;
+
+    /// Counter-wise difference, saturating at zero — the delta of two
+    /// snapshots of one monotonically growing counter set.
+    fn sub(self, rhs: SolverStats) -> SolverStats {
+        SolverStats {
+            solves: self.solves.saturating_sub(rhs.solves),
+            decisions: self.decisions.saturating_sub(rhs.decisions),
+            propagations: self.propagations.saturating_sub(rhs.propagations),
+            conflicts: self.conflicts.saturating_sub(rhs.conflicts),
+            learnt_clauses: self.learnt_clauses.saturating_sub(rhs.learnt_clauses),
+            deleted_clauses: self.deleted_clauses.saturating_sub(rhs.deleted_clauses),
+            restarts: self.restarts.saturating_sub(rhs.restarts),
+        }
+    }
+}
+
 impl fmt::Display for SolverStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -56,5 +96,32 @@ mod tests {
     fn display_is_nonempty() {
         let s = SolverStats::default();
         assert!(s.to_string().contains("conflicts=0"));
+    }
+
+    #[test]
+    fn arithmetic_is_counterwise_and_saturating() {
+        let a = SolverStats {
+            solves: 3,
+            conflicts: 10,
+            ..SolverStats::default()
+        };
+        let b = SolverStats {
+            solves: 1,
+            conflicts: 4,
+            decisions: 7,
+            ..SolverStats::default()
+        };
+        let sum = a + b;
+        assert_eq!(sum.solves, 4);
+        assert_eq!(sum.conflicts, 14);
+        assert_eq!(sum.decisions, 7);
+        let delta = a - b;
+        assert_eq!(delta.solves, 2);
+        assert_eq!(delta.conflicts, 6);
+        assert_eq!(delta.decisions, 0, "saturates instead of underflowing");
+        let mut acc = SolverStats::default();
+        acc += a;
+        acc += b;
+        assert_eq!(acc, sum);
     }
 }

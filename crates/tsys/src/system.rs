@@ -87,6 +87,25 @@ impl TransitionSystem {
         &self.name
     }
 
+    /// A stable 64-bit structural hash of the design: FNV-1a over its
+    /// ASCII AIGER serialization (graph, resets, properties,
+    /// constraints and the symbol table; the design name only appears
+    /// in the comment section, which is excluded). Two systems hash
+    /// equal iff they serialize identically, which is what the
+    /// cross-run feature store keys on.
+    pub fn structural_hash(&self) -> u64 {
+        let mut model = self.to_aiger();
+        model.comments.clear();
+        let mut bytes = Vec::new();
+        japrove_aig::write_aiger_ascii(&mut bytes, &model).expect("writing to a Vec cannot fail");
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in &bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        h
+    }
+
     /// The underlying graph.
     pub fn aig(&self) -> &Aig {
         &self.aig
@@ -473,5 +492,26 @@ mod tests {
         sys.add_property("b", l);
         let ids: Vec<usize> = sys.property_ids().map(|p| p.index()).collect();
         assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn structural_hash_is_stable_and_name_independent() {
+        let build = |name: &str, flip: bool| {
+            let mut aig = Aig::new();
+            let l = aig.add_latch(false);
+            aig.set_next(l, !l);
+            let mut sys = TransitionSystem::new(name, aig);
+            sys.add_property("p", if flip { l } else { !l });
+            sys
+        };
+        let a = build("one", false);
+        assert_eq!(a.structural_hash(), a.structural_hash());
+        // The name is metadata, not structure.
+        assert_eq!(
+            a.structural_hash(),
+            build("another-name", false).structural_hash()
+        );
+        // Flipping a property literal changes the structure.
+        assert_ne!(a.structural_hash(), build("one", true).structural_hash());
     }
 }

@@ -12,6 +12,9 @@ use japrove::core::{
     ClusteredOptions, GroupingOptions, JointOptions, MultiReport, ParallelMode, SeparateOptions,
 };
 use japrove::ic3::Lifting;
+use japrove::obs::json::Value;
+use japrove::obs::metrics::{phase_breakdown, render_breakdown};
+use japrove::obs::{journal::parse_jsonl, FeatureStore, Journal, Phase, RunRecord};
 use japrove::sat::BackendChoice;
 use japrove::tsys::{write_witness, TransitionSystem};
 use std::process::ExitCode;
@@ -22,6 +25,8 @@ japrove — multi-property model checking with JA-verification (DATE'18)
 
 USAGE:
     japrove [OPTIONS] <design.aag|design.aig>
+    japrove [OPTIONS] --gen <family>
+    japrove --check-trace <trace.jsonl>
 
 OPTIONS:
     --mode <ja|joint|separate-global|grouped|clustered|parallel|parallel-global>
@@ -38,6 +43,16 @@ OPTIONS:
     --total <SECS>            time limit for the whole design
     --lifting <ignore|respect> state-lifting mode (§7-A) [default: ignore]
     --no-reuse                disable clause re-use (§6)
+    --gen <family>            verify a generated benchmark design (by
+                              spec name, e.g. syn_6s260) instead of a file
+    --trace-out <FILE>        write the run journal as JSONL
+    --metrics                 print the per-phase time breakdown
+    --json <FILE>             write the report (with per-property solver
+                              stats) as JSON
+    --feature-store <FILE>    merge per-property cost records into a
+                              persistent JSONL feature store
+    --check-trace <FILE>      validate a JSONL trace against the event
+                              schema and exit
     --witness-dir <DIR>       write AIGER witnesses for failing properties
     --validate                re-check the debugging-set guarantees
     -q, --quiet               only print the summary line
@@ -46,6 +61,7 @@ OPTIONS:
 
 struct Cli {
     path: String,
+    gen: Option<String>,
     mode: String,
     affinity: AffinityMetric,
     threads: usize,
@@ -55,6 +71,11 @@ struct Cli {
     total: Option<Duration>,
     lifting: Lifting,
     reuse: bool,
+    trace_out: Option<String>,
+    metrics: bool,
+    json_out: Option<String>,
+    feature_store: Option<String>,
+    check_trace: Option<String>,
     witness_dir: Option<String>,
     validate: bool,
     quiet: bool,
@@ -63,6 +84,7 @@ struct Cli {
 fn parse_args() -> Result<Cli, String> {
     let mut cli = Cli {
         path: String::new(),
+        gen: None,
         mode: "ja".into(),
         affinity: AffinityMetric::default(),
         threads: 2,
@@ -72,6 +94,11 @@ fn parse_args() -> Result<Cli, String> {
         total: None,
         lifting: Lifting::Ignore,
         reuse: true,
+        trace_out: None,
+        metrics: false,
+        json_out: None,
+        feature_store: None,
+        check_trace: None,
         witness_dir: None,
         validate: false,
         quiet: false,
@@ -123,6 +150,12 @@ fn parse_args() -> Result<Cli, String> {
                     other => return Err(format!("unknown lifting mode '{other}'")),
                 }
             }
+            "--gen" => cli.gen = Some(value("--gen")?),
+            "--trace-out" => cli.trace_out = Some(value("--trace-out")?),
+            "--metrics" => cli.metrics = true,
+            "--json" => cli.json_out = Some(value("--json")?),
+            "--feature-store" => cli.feature_store = Some(value("--feature-store")?),
+            "--check-trace" => cli.check_trace = Some(value("--check-trace")?),
             "--witness-dir" => cli.witness_dir = Some(value("--witness-dir")?),
             other if other.starts_with('-') => return Err(format!("unknown option '{other}'")),
             path => {
@@ -133,13 +166,28 @@ fn parse_args() -> Result<Cli, String> {
             }
         }
     }
-    if cli.path.is_empty() {
-        return Err("no design file given".into());
+    if cli.check_trace.is_some() {
+        return Ok(cli);
+    }
+    if cli.path.is_empty() && cli.gen.is_none() {
+        return Err("no design file given (or use --gen <family>)".into());
+    }
+    if !cli.path.is_empty() && cli.gen.is_some() {
+        return Err("give either a design file or --gen, not both".into());
     }
     Ok(cli)
 }
 
-fn run(cli: &Cli) -> Result<(MultiReport, TransitionSystem), String> {
+fn load_design(cli: &Cli) -> Result<TransitionSystem, String> {
+    if let Some(family) = &cli.gen {
+        let spec = japrove::genbench::spec_by_name(family).ok_or_else(|| {
+            format!(
+                "unknown benchmark family '{family}' (available: {})",
+                japrove::genbench::spec_names().join(", ")
+            )
+        })?;
+        return Ok(spec.generate().sys);
+    }
     let bytes = std::fs::read(&cli.path).map_err(|e| format!("cannot read {}: {e}", cli.path))?;
     let model = japrove::aig::read_aiger(&bytes).map_err(|e| e.to_string())?;
     if model.bads.is_empty() {
@@ -150,19 +198,26 @@ fn run(cli: &Cli) -> Result<(MultiReport, TransitionSystem), String> {
         .and_then(|s| s.to_str())
         .unwrap_or("design")
         .to_string();
-    let sys = TransitionSystem::from_aiger(name, model);
+    Ok(TransitionSystem::from_aiger(name, model))
+}
+
+fn run(cli: &Cli, journal: &Journal) -> Result<(MultiReport, TransitionSystem), String> {
+    let sys = load_design(cli)?;
 
     let mut sep = SeparateOptions::local()
         .lifting(cli.lifting)
         .reuse(cli.reuse)
-        .backend(cli.backend);
+        .backend(cli.backend)
+        .journal(journal.clone());
     if let Some(d) = cli.per_property {
         sep = sep.per_property_timeout(d);
     }
     if let Some(d) = cli.total {
         sep = sep.total_timeout(d);
     }
-    let mut joint = JointOptions::new().backend(cli.backend);
+    let mut joint = JointOptions::new()
+        .backend(cli.backend)
+        .journal(journal.clone());
     if let Some(d) = cli.total {
         joint = joint.total_timeout(d);
     }
@@ -171,6 +226,7 @@ fn run(cli: &Cli) -> Result<(MultiReport, TransitionSystem), String> {
         opts
     };
 
+    let _run_span = journal.span_labeled(Phase::Run, cli.mode.as_str());
     let report = match cli.mode.as_str() {
         "ja" => ja_verify(&sys, &sep),
         "separate-global" => separate_verify(&sys, &global(sep.clone())),
@@ -180,7 +236,8 @@ fn run(cli: &Cli) -> Result<(MultiReport, TransitionSystem), String> {
             let opts = ClusteredOptions::new()
                 .metric(cli.affinity)
                 .separate(global(sep.clone()))
-                .backend(cli.backend);
+                .backend(cli.backend)
+                .journal(journal.clone());
             parallel_clustered_verify(&sys, cli.threads, &opts)
         }
         "parallel" => parallel_ja_verify_with(&sys, cli.threads, &sep, cli.schedule),
@@ -190,6 +247,120 @@ fn run(cli: &Cli) -> Result<(MultiReport, TransitionSystem), String> {
         other => return Err(format!("unknown mode '{other}'")),
     };
     Ok((report, sys))
+}
+
+/// Renders the report (with each property's engine and SAT counters)
+/// as a single JSON document.
+fn report_json(report: &MultiReport) -> Value {
+    let int = |x: u64| Value::Int(x as i64);
+    let props: Vec<Value> = report
+        .results
+        .iter()
+        .map(|r| {
+            let verdict = if r.holds() {
+                "holds"
+            } else if r.fails() {
+                "fails"
+            } else {
+                "unknown"
+            };
+            let s = &r.stats;
+            Value::Obj(vec![
+                ("name".into(), Value::Str(r.name.clone())),
+                ("verdict".into(), Value::Str(verdict.into())),
+                ("scope".into(), Value::Str(r.scope.to_string())),
+                ("time_us".into(), int(r.time.as_micros() as u64)),
+                ("frames".into(), int(r.frames as u64)),
+                ("retried".into(), Value::Bool(r.retried)),
+                ("backend".into(), Value::Str(r.backend.to_string())),
+                (
+                    "stats".into(),
+                    Value::Obj(vec![
+                        ("queries".into(), int(s.queries)),
+                        ("clauses".into(), int(s.clauses as u64)),
+                        ("obligations".into(), int(s.obligations)),
+                        ("generalized_lits".into(), int(s.generalized_lits)),
+                        ("solves".into(), int(s.sat.solves)),
+                        ("decisions".into(), int(s.sat.decisions)),
+                        ("propagations".into(), int(s.sat.propagations)),
+                        ("conflicts".into(), int(s.sat.conflicts)),
+                        ("learnt_clauses".into(), int(s.sat.learnt_clauses)),
+                        ("deleted_clauses".into(), int(s.sat.deleted_clauses)),
+                        ("restarts".into(), int(s.sat.restarts)),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+    Value::Obj(vec![
+        ("design".into(), Value::Str(report.design.clone())),
+        ("method".into(), Value::Str(report.method.clone())),
+        (
+            "total_time_us".into(),
+            int(report.total_time.as_micros() as u64),
+        ),
+        ("num_true".into(), int(report.num_true() as u64)),
+        ("num_false".into(), int(report.num_false() as u64)),
+        ("num_unsolved".into(), int(report.num_unsolved() as u64)),
+        ("properties".into(), Value::Arr(props)),
+    ])
+}
+
+/// Merges this run's per-property records into the JSONL feature store
+/// at `path`.
+fn update_feature_store(
+    path: &str,
+    sys: &TransitionSystem,
+    report: &MultiReport,
+    mode: &str,
+) -> Result<usize, String> {
+    let mut store = FeatureStore::load(path).map_err(|e| e.to_string())?;
+    let design = format!("{:016x}", sys.structural_hash());
+    for r in &report.results {
+        let verdict = if r.holds() {
+            "holds"
+        } else if r.fails() {
+            "fails"
+        } else {
+            "unknown"
+        };
+        store.upsert(RunRecord {
+            design: design.clone(),
+            property: r.name.clone(),
+            mode: mode.to_string(),
+            verdict: verdict.into(),
+            time_us: r.time.as_micros() as u64,
+            frames: r.frames as u64,
+            conflicts: r.stats.sat.conflicts,
+            decisions: r.stats.sat.decisions,
+            propagations: r.stats.sat.propagations,
+            restarts: r.stats.sat.restarts,
+        });
+    }
+    store.save(path).map_err(|e| e.to_string())?;
+    Ok(store.len())
+}
+
+/// The `--check-trace` mode: parse a JSONL trace strictly, rejecting
+/// unknown event kinds; the CI smoke job gates on the exit code.
+fn check_trace(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match parse_jsonl(&text) {
+        Ok(events) => {
+            println!("trace ok: {} events", events.len());
+            ExitCode::SUCCESS
+        }
+        Err((line, e)) => {
+            eprintln!("trace invalid at line {line}: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -204,13 +375,62 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let (report, sys) = match run(&cli) {
+    if let Some(path) = &cli.check_trace {
+        return check_trace(path);
+    }
+
+    // A journal costs one pointer check per call when disabled; only
+    // allocate the real thing when some sink will consume it.
+    let journal = if cli.trace_out.is_some() || cli.metrics {
+        Journal::new()
+    } else {
+        Journal::disabled()
+    };
+    let (report, sys) = match run(&cli, &journal) {
         Ok(r) => r,
         Err(msg) => {
             eprintln!("error: {msg}");
             return ExitCode::from(2);
         }
     };
+
+    if let Some(path) = &cli.trace_out {
+        let write = std::fs::File::create(path)
+            .map_err(|e| e.to_string())
+            .and_then(|mut f| journal.write_jsonl(&mut f).map_err(|e| e.to_string()));
+        match write {
+            Ok(()) => eprintln!("trace written to {path}"),
+            Err(e) => {
+                eprintln!("error writing trace {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if cli.metrics {
+        let events = journal.events();
+        let rows = phase_breakdown(&events);
+        println!(
+            "{}",
+            render_breakdown(&rows, report.total_time.as_micros() as u64)
+        );
+    }
+    if let Some(path) = &cli.json_out {
+        let doc = report_json(&report);
+        if let Err(e) = std::fs::write(path, format!("{doc}\n")) {
+            eprintln!("error writing report {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!("report written to {path}");
+    }
+    if let Some(path) = &cli.feature_store {
+        match update_feature_store(path, &sys, &report, &cli.mode) {
+            Ok(n) => eprintln!("feature store {path}: {n} records"),
+            Err(e) => {
+                eprintln!("error updating feature store {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
 
     if cli.quiet {
         println!("{}", report.summary());

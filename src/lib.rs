@@ -16,7 +16,9 @@
 //! * [`ic3`] — IC3/PDR and BMC engines with certificates,
 //! * [`core`] — JA-verification, joint verification, clause re-use,
 //!   debugging sets, parallel drivers,
-//! * [`genbench`] — synthetic multi-property benchmark designs.
+//! * [`genbench`] — synthetic multi-property benchmark designs,
+//! * [`obs`] — the run journal: structured tracing, per-phase
+//!   metrics and the cross-run feature store.
 //!
 //! # Quickstart
 //!
@@ -38,5 +40,6 @@ pub use japrove_core as core;
 pub use japrove_genbench as genbench;
 pub use japrove_ic3 as ic3;
 pub use japrove_logic as logic;
+pub use japrove_obs as obs;
 pub use japrove_sat as sat;
 pub use japrove_tsys as tsys;
