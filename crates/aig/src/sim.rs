@@ -82,14 +82,64 @@ impl Simulator {
     /// next-state value.
     pub fn step(&mut self, aig: &Aig, inputs: &[u64]) {
         self.eval(aig, inputs);
+        self.advance(aig);
+        // Refresh node values so `value` reflects the new state.
+        self.eval(aig, inputs);
+    }
+
+    /// Registers the next-state values computed by the last `eval`.
+    /// Node values are stale until the next `eval`.
+    fn advance(&mut self, aig: &Aig) {
         let next: Vec<u64> = aig
             .latches()
             .iter()
             .map(|l| self.edge_value(l.next))
             .collect();
         self.state = next;
-        // Refresh node values so `value` reflects the new state.
-        self.eval(aig, inputs);
+    }
+
+    /// Batched invariant filtering: simulates `steps` cycles across all
+    /// 64 instances, clearing `alive[i]` whenever monitor `i` is not
+    /// all-ones (i.e. candidate invariant `i` fails in some instance,
+    /// including in the current state before the first step). The
+    /// `inputs` closure fills one word per design input for each step.
+    ///
+    /// Monitors are checked on the *pre-step* valuation of every cycle
+    /// plus the final post-step state, so a run of `steps` cycles
+    /// checks `steps + 1` states. Returns the number of monitors still
+    /// alive. This is the mining fast path: one pass kills every dead
+    /// candidate of a thousand-monitor batch without per-candidate
+    /// simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alive` and `monitors` differ in length.
+    pub fn filter_monitors<F>(
+        &mut self,
+        aig: &Aig,
+        monitors: &[AigLit],
+        alive: &mut [bool],
+        steps: usize,
+        mut inputs: F,
+    ) -> usize
+    where
+        F: FnMut(usize, &mut [u64]),
+    {
+        assert_eq!(monitors.len(), alive.len(), "one flag per monitor");
+        let mut words = vec![0u64; aig.num_inputs()];
+        for step in 0..=steps {
+            inputs(step, &mut words);
+            self.eval(aig, &words);
+            for (m, a) in monitors.iter().zip(alive.iter_mut()) {
+                if *a && self.edge_value(*m) != u64::MAX {
+                    *a = false;
+                }
+            }
+            if step < steps {
+                self.advance(aig);
+            }
+        }
+        alive.iter().filter(|a| **a).count()
     }
 
     /// Current word value of an edge.
@@ -153,6 +203,61 @@ mod tests {
             sim.step(&g, &[]);
         }
         assert_eq!(seen, vec![0, 1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn filter_monitors_kills_false_candidates() {
+        // 2-bit counter again; monitor candidates: b0 const-0 (false
+        // after one step), b1 const-0 (false after two), !(b0 & b1)
+        // (false at count 3), and TRUE (never killed).
+        let mut g = Aig::new();
+        let b0 = g.add_latch(false);
+        let b1 = g.add_latch(false);
+        let n1 = g.xor(b1, b0);
+        g.set_next(b0, !b0);
+        g.set_next(b1, n1);
+        let both = g.and(b0, b1);
+        let monitors = [!b0, !b1, !both, AigLit::TRUE];
+
+        let mut sim = Simulator::new(&g);
+        let mut alive = [true; 4];
+        // Zero steps: only the current (reset) state is checked.
+        assert_eq!(
+            sim.filter_monitors(&g, &monitors, &mut alive, 0, |_, _| {}),
+            4
+        );
+
+        let mut sim = Simulator::new(&g);
+        let mut alive = [true; 4];
+        assert_eq!(
+            sim.filter_monitors(&g, &monitors, &mut alive, 1, |_, _| {}),
+            3
+        );
+        assert_eq!(alive, [false, true, true, true]);
+
+        let mut sim = Simulator::new(&g);
+        let mut alive = [true; 4];
+        assert_eq!(
+            sim.filter_monitors(&g, &monitors, &mut alive, 3, |_, _| {}),
+            1
+        );
+        assert_eq!(alive, [false, false, false, true]);
+    }
+
+    #[test]
+    fn filter_monitors_sees_per_instance_inputs() {
+        // Latch goes high iff its input fires; distinct instances get
+        // distinct input bits, and one bad instance kills the monitor.
+        let mut g = Aig::new();
+        let i = g.add_input();
+        let l = g.add_latch(false);
+        g.set_next(l, i);
+        let mut sim = Simulator::new(&g);
+        let mut alive = [true];
+        let n = sim.filter_monitors(&g, &[!l], &mut alive, 2, |_, w| {
+            w[0] = 1 << 17; // only instance 17 ever raises the input
+        });
+        assert_eq!(n, 0, "instance 17 falsifies const-0 of the latch");
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //!   re-use (the structure-aware direction §12 contrasts with JA,
 //!   promoted to a first-class mode; the greedy §12 baseline survives
 //!   as [`grouped_verify`]);
+//! * [`mine_verify`] — property mining composed with any of the
+//!   drivers above: verify a design that carries *no* spec (cf.
+//!   Goldberg's incomplete-specification line of work);
 //! * [`ClauseDb`] — the clauseDB of §7-B re-using strengthening
 //!   clauses across properties;
 //! * [`validate_debugging_set`] / [`check_local_global_agreement`] /
@@ -57,6 +60,7 @@ mod cluster;
 mod clustered;
 mod debug_set;
 mod joint;
+mod mine;
 mod parallel;
 mod report;
 mod reuse;
@@ -67,6 +71,7 @@ pub use cluster::{cluster_properties, grouped_verify, GroupingOptions};
 pub use clustered::{clustered_verify, parallel_clustered_verify, ClusteredOptions};
 pub use debug_set::{check_local_global_agreement, validate_debugging_set, verify_reuse_soundness};
 pub use joint::{joint_verify, JointOptions};
+pub use mine::{mine_verify, MinedVerification};
 pub use parallel::{parallel_ja_verify, parallel_ja_verify_with, ParallelMode};
 pub use report::{MultiReport, PropertyResult, Scope};
 pub use reuse::{ClauseDb, TwoLevelSource};

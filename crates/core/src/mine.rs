@@ -1,0 +1,112 @@
+//! Composing property mining with the verification drivers.
+//!
+//! Mining ([`japrove_mine::mine`]) turns a bare design into a
+//! `TransitionSystem` carrying hundreds-to-thousands of proved
+//! invariants; [`mine_verify`] hands that system to *any* driver —
+//! separate, JA, joint, grouped, clustered, parallel — and returns the
+//! report next to the mining provenance. Because every promoted
+//! candidate is k-induction-proved, a sound driver must report every
+//! mined property as holding; [`MinedVerification::all_confirmed`]
+//! checks exactly that, which is the cross-engine soundness oracle the
+//! mining test-suite leans on.
+
+use crate::MultiReport;
+use japrove_mine::{mine, MineOptions, MiningOutcome};
+use japrove_tsys::TransitionSystem;
+
+/// A mining pass plus the verification of its product.
+#[derive(Clone, Debug)]
+pub struct MinedVerification {
+    /// The mining product: the `<design>#mined` system, per-property
+    /// kinds, and per-stage accounting.
+    pub mined: MiningOutcome,
+    /// The driver's verdicts over the mined properties.
+    pub report: MultiReport,
+}
+
+impl MinedVerification {
+    /// `true` iff the driver confirmed every mined property (proved
+    /// invariants can never fail; an `Unknown` merely means the driver
+    /// ran out of budget, a `Falsified` means a soundness bug).
+    pub fn all_confirmed(&self) -> bool {
+        self.mined
+            .sys
+            .property_ids()
+            .all(|p| self.report.result(p).is_some_and(|r| r.holds()))
+    }
+}
+
+/// Mines `sys` with `opts`, then runs `verify` on the mined system.
+///
+/// The closure receives the mined `TransitionSystem` and picks the
+/// driver (and its options) — the composition point the CLI's
+/// `--mine` flag goes through for every `--mode`.
+///
+/// # Examples
+///
+/// ```
+/// use japrove_aig::Aig;
+/// use japrove_core::{mine_verify, separate_verify, SeparateOptions};
+/// use japrove_mine::MineOptions;
+/// use japrove_tsys::TransitionSystem;
+///
+/// let mut aig = Aig::new();
+/// let a = aig.add_latch(false);
+/// let b = aig.add_latch(false);
+/// aig.set_next(a, !a);
+/// aig.set_next(b, !b);
+/// let sys = TransitionSystem::new("toggles", aig);
+///
+/// let outcome = mine_verify(&sys, &MineOptions::new(), |mined| {
+///     separate_verify(mined, &SeparateOptions::global())
+/// });
+/// assert!(outcome.mined.sys.num_properties() > 0);
+/// assert!(outcome.all_confirmed());
+/// ```
+pub fn mine_verify<F>(sys: &TransitionSystem, opts: &MineOptions, verify: F) -> MinedVerification
+where
+    F: FnOnce(&TransitionSystem) -> MultiReport,
+{
+    let mined = mine(sys, opts);
+    let report = verify(&mined.sys);
+    MinedVerification { mined, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{clustered_verify, separate_verify, ClusteredOptions, SeparateOptions};
+    use japrove_aig::Aig;
+    use japrove_tsys::Word;
+
+    fn counter_design() -> TransitionSystem {
+        let mut aig = Aig::new();
+        let c = Word::latches(&mut aig, 4, 0);
+        let n = c.increment(&mut aig);
+        c.set_next(&mut aig, &n);
+        let stuck = aig.add_latch(false);
+        aig.set_next(stuck, stuck);
+        TransitionSystem::new("cnt", aig)
+    }
+
+    #[test]
+    fn mined_properties_verify_under_any_driver() {
+        let sys = counter_design();
+        let opts = MineOptions::new();
+        let separate = mine_verify(&sys, &opts, |m| {
+            separate_verify(m, &SeparateOptions::global())
+        });
+        assert!(separate.mined.sys.num_properties() > 0);
+        assert!(separate.all_confirmed(), "{}", separate.report.summary());
+
+        let clustered = mine_verify(&sys, &opts, |m| {
+            clustered_verify(m, &ClusteredOptions::new())
+        });
+        assert!(clustered.all_confirmed(), "{}", clustered.report.summary());
+        assert_eq!(
+            separate.mined.sys.num_properties(),
+            clustered.mined.sys.num_properties(),
+            "mining is deterministic across calls"
+        );
+    }
+}

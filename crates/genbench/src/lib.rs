@@ -38,6 +38,6 @@ mod specs;
 pub use counter::{buggy_counter, CounterProps};
 pub use family::{Expected, FamilyParams, GeneratedDesign};
 pub use specs::{
-    all_true_specs, failing_specs, many_props_specs, parallel_spec, probe_spec, spec_by_name,
-    spec_names,
+    all_true_specs, failing_specs, many_props_specs, parallel_spec, probe_spec, resolve_spec,
+    spec_by_name, spec_names,
 };

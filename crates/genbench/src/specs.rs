@@ -152,6 +152,18 @@ pub fn spec_names() -> Vec<String> {
     all_specs().into_iter().map(|s| s.name).collect()
 }
 
+/// Resolves a family name to its spec, or explains what *would* have
+/// worked: the error message lists every available family, so a typo
+/// on `--gen`/`--mine` never leaves the user guessing.
+pub fn resolve_spec(name: &str) -> Result<FamilyParams, String> {
+    spec_by_name(name).ok_or_else(|| {
+        format!(
+            "unknown benchmark family '{name}' (available: {})",
+            spec_names().join(", ")
+        )
+    })
+}
+
 fn all_specs() -> Vec<FamilyParams> {
     let mut specs = many_props_specs();
     specs.extend(failing_specs());
@@ -210,6 +222,19 @@ mod tests {
         unique.dedup();
         assert_eq!(unique.len(), names.len(), "duplicate spec name");
         assert!(spec_by_name("no_such_design").is_none());
+    }
+
+    #[test]
+    fn resolver_error_lists_every_family() {
+        assert_eq!(
+            resolve_spec("syn_6s275").expect("known family").name,
+            "syn_6s275"
+        );
+        let err = resolve_spec("syn_typo").expect_err("unknown family");
+        assert!(err.contains("unknown benchmark family 'syn_typo'"), "{err}");
+        for name in spec_names() {
+            assert!(err.contains(&name), "error omits family {name}: {err}");
+        }
     }
 
     #[test]

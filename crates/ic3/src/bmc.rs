@@ -268,6 +268,40 @@ impl<'a> Bmc<'a> {
         BmcResult::NoCexUpTo(max_depth)
     }
 
+    /// Solves for the initialized trace that follows the given concrete
+    /// stimulus (`inputs[t]` holds one Boolean per design input for
+    /// step `t`) and returns it. With every input pinned the unrolling
+    /// is deterministic, so the returned trace's latch valuations are
+    /// *the* valuations the design reaches — the differential oracle
+    /// the simulator is checked against. Returns `None` only if the
+    /// stimulus is infeasible (it violates a design constraint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is empty or any step does not carry exactly
+    /// one Boolean per design input.
+    pub fn trace_with_stimulus(&mut self, inputs: &[Vec<bool>]) -> Option<Trace> {
+        assert!(!inputs.is_empty(), "at least one step of stimulus");
+        let k = inputs.len() - 1;
+        self.extend_to(k);
+        let mut assumptions = self.init_assumptions.clone();
+        for (frame, step) in inputs.iter().enumerate() {
+            assert_eq!(
+                step.len(),
+                self.sys.num_inputs(),
+                "one Boolean per input at step {frame}"
+            );
+            for (&var, &bit) in self.input_vars[frame].iter().zip(step) {
+                assumptions.push(var.lit(!bit));
+            }
+        }
+        self.solver.set_budget(Budget::unlimited());
+        match self.solver.solve(&assumptions) {
+            SolveResult::Sat => Some(self.extract_trace(k)),
+            _ => None,
+        }
+    }
+
     /// Probes `prop` at depths `0..=max_depth` and returns the sorted
     /// latch indices whose *reset values* appeared in some depth's
     /// UNSAT core — the state bits shallow refutations of the property

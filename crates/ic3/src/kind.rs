@@ -1,0 +1,400 @@
+//! Joint k-induction: prove many candidate invariants at once.
+//!
+//! [`KInduction`] checks a *set* of properties together: the base case
+//! runs aggregate BMC queries at depths `0..k`, and the step case
+//! unrolls `k + 1` frames **without** the initial-state constraint and
+//! asks whether all survivors holding at frames `0..k` forces them to
+//! hold at frame `k`. Both cases drive a CEGAR-style drop loop — any
+//! candidate falsified by a model is removed and the query re-asked —
+//! so one solver pass over the whole set converges to its largest
+//! jointly k-inductive subset. That joint fixpoint is exactly what
+//! property mining needs: thousands of candidates share one unrolling
+//! and strengthen each other as mutual assumptions, yet every survivor
+//! is individually sound.
+//!
+//! Soundness: a property in [`KInductionResult::proved`] holds in all
+//! reachable states. The base case shows every survivor holds at
+//! depths `< k` of initialized traces; the step case shows the
+//! surviving conjunction propagates along *any* trace segment, so
+//! induction along an initialized trace covers every depth. Dropped
+//! candidates are classified — base kills are genuine failures,
+//! step kills are merely not-inductive (their truth is unknown).
+//!
+//! # Examples
+//!
+//! ```
+//! use japrove_aig::Aig;
+//! use japrove_ic3::KInduction;
+//! use japrove_tsys::TransitionSystem;
+//!
+//! // Two toggles with equal resets stay equal: 1-inductive.
+//! let mut aig = Aig::new();
+//! let a = aig.add_latch(false);
+//! let b = aig.add_latch(false);
+//! aig.set_next(a, !a);
+//! aig.set_next(b, !b);
+//! let eq = aig.eq(a, b);
+//! let mut sys = TransitionSystem::new("toggles", aig);
+//! let p = sys.add_property("eq", eq);
+//!
+//! let result = KInduction::new(&sys, 1).check(&[p]);
+//! assert_eq!(result.proved, vec![p]);
+//! ```
+
+use crate::{Bmc, BmcResult};
+use japrove_aig::CnfEncoder;
+use japrove_logic::{Lit, Var};
+use japrove_obs::{Journal, Phase};
+use japrove_sat::{BackendChoice, Budget, SatBackend, SolveResult};
+use japrove_tsys::{PropertyId, TransitionSystem};
+
+/// Outcome of one joint k-induction check; the input set is
+/// partitioned across the four buckets.
+#[derive(Clone, Debug, Default)]
+pub struct KInductionResult {
+    /// Jointly k-inductive survivors — each holds in every reachable
+    /// state (in the order they were passed in).
+    pub proved: Vec<PropertyId>,
+    /// Falsified by an initialized trace of depth `< k`: genuinely
+    /// false properties.
+    pub base_killed: Vec<PropertyId>,
+    /// Dropped by the step case: not k-inductive relative to the
+    /// survivors. Their truth is unknown.
+    pub step_killed: Vec<PropertyId>,
+    /// The budget ran out before these could be classified.
+    pub unknown: Vec<PropertyId>,
+    /// CEGAR rounds the step fixpoint needed (0 when nothing survived
+    /// the base case).
+    pub rounds: usize,
+}
+
+/// A joint k-induction checker: an aggregate base case with
+/// drop-and-requery plus an init-free step case with a CEGAR
+/// assumption-drop loop, classifying a whole property batch at once.
+#[derive(Debug)]
+pub struct KInduction<'a> {
+    sys: &'a TransitionSystem,
+    k: usize,
+    backend: BackendChoice,
+    budget: Budget,
+    journal: Journal,
+}
+
+impl<'a> KInduction<'a> {
+    /// Creates a checker with induction depth `k` on the default
+    /// backend with no resource budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` (plain induction needs at least one frame of
+    /// hypothesis).
+    pub fn new(sys: &'a TransitionSystem, k: usize) -> Self {
+        assert!(k >= 1, "k-induction needs k >= 1");
+        KInduction {
+            sys,
+            k,
+            backend: BackendChoice::default(),
+            budget: Budget::unlimited(),
+            journal: Journal::disabled(),
+        }
+    }
+
+    /// Selects the SAT backend for both cases.
+    pub fn backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Bounds every individual solver query. Exhaustion moves the
+    /// still-unclassified candidates to [`KInductionResult::unknown`].
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Attaches an observability journal: the check runs under an
+    /// `induction` span and the base case emits per-depth `unroll`
+    /// events.
+    pub fn journal(mut self, journal: Journal) -> Self {
+        self.journal = journal;
+        self
+    }
+
+    /// Partitions `props` into proved / base-killed / step-killed /
+    /// unknown; see [`KInductionResult`].
+    pub fn check(&self, props: &[PropertyId]) -> KInductionResult {
+        let _span = self
+            .journal
+            .span_labeled(Phase::Induction, format!("k{}", self.k));
+        let mut result = KInductionResult::default();
+        let mut alive: Vec<PropertyId> = props.to_vec();
+        self.base_case(&mut alive, &mut result);
+        if !alive.is_empty() {
+            self.step_case(&mut alive, &mut result);
+        }
+        result.proved = alive;
+        result
+    }
+
+    /// Aggregate BMC at depths `0..k`, dropping falsified candidates
+    /// and re-asking until each depth is clean.
+    fn base_case(&self, alive: &mut Vec<PropertyId>, result: &mut KInductionResult) {
+        let mut bmc = Bmc::with_backend(self.sys, self.backend);
+        bmc.set_journal(self.journal.clone());
+        for depth in 0..self.k {
+            loop {
+                if alive.is_empty() {
+                    return;
+                }
+                match bmc.check_at(alive, depth, self.budget) {
+                    BmcResult::NoCexUpTo(_) => break,
+                    BmcResult::Cex { falsified, .. } => {
+                        if falsified.is_empty() {
+                            // Unattributable model (cannot happen with a
+                            // complete solver); claim nothing.
+                            result.unknown.append(alive);
+                            return;
+                        }
+                        retain_others(alive, &falsified, self.sys.num_properties());
+                        result.base_killed.extend(falsified);
+                    }
+                    BmcResult::Unknown(_) => {
+                        result.unknown.append(alive);
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The init-free step case: unroll `k + 1` frames, assume all
+    /// survivors at frames `0..k`, and drop whatever a model falsifies
+    /// at frame `k` until UNSAT.
+    fn step_case(&self, alive: &mut Vec<PropertyId>, result: &mut KInductionResult) {
+        let mut solver = self.backend.build();
+        solver.set_journal(self.journal.clone());
+        let good_lits = self.unroll_free(solver.as_mut());
+        loop {
+            if alive.is_empty() {
+                return;
+            }
+            result.rounds += 1;
+            let mut assumptions: Vec<Lit> = Vec::with_capacity(self.k * alive.len() + 1);
+            for frame in &good_lits[..self.k] {
+                assumptions.extend(alive.iter().map(|p| frame[p.index()]));
+            }
+            // "Some survivor fails at frame k", behind a per-round
+            // activation literal so dropped rounds retire cleanly.
+            let aux = solver.new_var();
+            let mut clause: Vec<Lit> = vec![aux.neg()];
+            clause.extend(alive.iter().map(|p| !good_lits[self.k][p.index()]));
+            solver.add_clause(&clause);
+            assumptions.push(aux.pos());
+            solver.set_budget(self.budget);
+            let solved = solver.solve(&assumptions);
+            solver.add_clause(&[aux.neg()]);
+            match solved {
+                SolveResult::Unsat => return,
+                SolveResult::Unknown => {
+                    result.unknown.append(alive);
+                    return;
+                }
+                SolveResult::Sat => {
+                    let dropped: Vec<PropertyId> = alive
+                        .iter()
+                        .copied()
+                        .filter(|p| solver.model_value(good_lits[self.k][p.index()]).is_false())
+                        .collect();
+                    if dropped.is_empty() {
+                        // Defensive: a SAT answer must falsify someone.
+                        result.unknown.append(alive);
+                        return;
+                    }
+                    retain_others(alive, &dropped, self.sys.num_properties());
+                    result.step_killed.extend(dropped);
+                }
+            }
+        }
+    }
+
+    /// Encodes `k + 1` combinational frames chained by the transition
+    /// relation, with a *free* frame-0 state (no initial-state
+    /// clauses) and the design constraints asserted at every frame.
+    /// Returns the per-frame good-literals, indexed by property.
+    fn unroll_free(&self, solver: &mut dyn SatBackend) -> Vec<Vec<Lit>> {
+        let aig = self.sys.aig();
+        let mut state: Vec<Var> = aig.latches().iter().map(|_| solver.new_var()).collect();
+        let mut good_lits = Vec::with_capacity(self.k + 1);
+        for _frame in 0..=self.k {
+            let mut enc = CnfEncoder::starting_at(solver.num_vars());
+            for (latch, &v) in aig.latches().iter().zip(&state) {
+                enc.pin_to(latch.node, v);
+            }
+            for &n in aig.inputs() {
+                enc.pin(n);
+            }
+            let goods: Vec<Lit> = self
+                .sys
+                .properties()
+                .iter()
+                .map(|p| enc.lit_for(aig, p.good))
+                .collect();
+            let constraints: Vec<Lit> = self
+                .sys
+                .constraints()
+                .iter()
+                .map(|&c| enc.lit_for(aig, c))
+                .collect();
+            let nexts: Vec<Lit> = aig
+                .latches()
+                .iter()
+                .map(|l| enc.lit_for(aig, l.next))
+                .collect();
+            let next_vars: Vec<Var> = (0..aig.num_latches()).map(|_| enc.fresh()).collect();
+            let cnf = enc.take_new_clauses();
+            solver.ensure_vars(cnf.num_vars());
+            for c in cnf.clauses() {
+                solver.add_clause(c.lits());
+            }
+            for &c in &constraints {
+                solver.add_clause(&[c]);
+            }
+            for (&v, &f) in next_vars.iter().zip(&nexts) {
+                solver.add_clause(&[v.neg(), f]);
+                solver.add_clause(&[v.pos(), !f]);
+            }
+            good_lits.push(goods);
+            state = next_vars;
+        }
+        good_lits
+    }
+}
+
+/// Removes `dropped` from `alive`, preserving order (via a dense flag
+/// array so large rounds stay linear).
+fn retain_others(alive: &mut Vec<PropertyId>, dropped: &[PropertyId], num_props: usize) {
+    let mut flag = vec![false; num_props];
+    for p in dropped {
+        flag[p.index()] = true;
+    }
+    alive.retain(|p| !flag[p.index()]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use japrove_aig::{Aig, AigLit};
+
+    /// Swap pair (a' = b, b' = a, both reset 0), a toggle, a
+    /// free-input latch, and a length-3 zero delay chain: a zoo of
+    /// inductive strengths.
+    fn zoo() -> (TransitionSystem, Vec<PropertyId>) {
+        let mut aig = Aig::new();
+        let a = aig.add_latch(false);
+        let b = aig.add_latch(false);
+        let t = aig.add_latch(false);
+        let f = aig.add_latch(false);
+        let d1 = aig.add_latch(false);
+        let d2 = aig.add_latch(false);
+        let d3 = aig.add_latch(false);
+        let i = aig.add_input();
+        aig.set_next(a, b);
+        aig.set_next(b, a);
+        aig.set_next(t, !t);
+        aig.set_next(f, i);
+        aig.set_next(d1, d2);
+        aig.set_next(d2, d3);
+        aig.set_next(d3, AigLit::FALSE);
+        let mut sys = TransitionSystem::new("zoo", aig);
+        let props = vec![
+            sys.add_property("a_low", !a),   // true, 2-inductive
+            sys.add_property("t_low", !t),   // false at depth 1
+            sys.add_property("f_low", !f),   // false at depth 1 (input-driven)
+            sys.add_property("d1_low", !d1), // true, but only 3-inductive
+        ];
+        (sys, props)
+    }
+
+    #[test]
+    fn two_inductive_property_needs_k2() {
+        let (sys, props) = zoo();
+        let a_low = props[0];
+        let k1 = KInduction::new(&sys, 1).check(&[a_low]);
+        assert!(k1.proved.is_empty());
+        assert_eq!(k1.step_killed, vec![a_low]);
+        let k2 = KInduction::new(&sys, 2).check(&[a_low]);
+        assert_eq!(k2.proved, vec![a_low]);
+        assert!(k2.rounds >= 1);
+    }
+
+    #[test]
+    fn joint_check_partitions_the_set() {
+        let (sys, props) = zoo();
+        let result = KInduction::new(&sys, 2).check(&props);
+        assert_eq!(result.proved, vec![props[0]]);
+        let mut base = result.base_killed.clone();
+        base.sort_by_key(|p| p.index());
+        assert_eq!(
+            base,
+            vec![props[1], props[2]],
+            "toggle and input latch genuinely rise at depth 1"
+        );
+        assert_eq!(
+            result.step_killed,
+            vec![props[3]],
+            "the delay chain is true but not 2-inductive"
+        );
+        assert!(result.unknown.is_empty());
+
+        // At k = 3 the delay chain becomes inductive too.
+        let result = KInduction::new(&sys, 3).check(&[props[0], props[3]]);
+        assert_eq!(result.proved, vec![props[0], props[3]]);
+    }
+
+    #[test]
+    fn budget_exhaustion_claims_nothing() {
+        let (sys, props) = zoo();
+        let result = KInduction::new(&sys, 2)
+            .budget(Budget::conflicts(0))
+            .check(&props);
+        assert!(result.proved.is_empty());
+        let mut all = result.unknown.clone();
+        all.extend(result.base_killed); // a depth-0/1 model may land first
+        all.extend(result.step_killed);
+        all.sort_by_key(|p| p.index());
+        assert_eq!(all.len(), props.len(), "every input is accounted for");
+    }
+
+    #[test]
+    fn constraints_enable_otherwise_failing_candidates() {
+        // A free-input latch under the constraint that the input is
+        // low: const-0 becomes 1-inductive.
+        let mut aig = Aig::new();
+        let i = aig.add_input();
+        let f = aig.add_latch(false);
+        aig.set_next(f, i);
+        let mut sys = TransitionSystem::new("gated", aig);
+        sys.add_constraint(!i);
+        let p = sys.add_property("f_low", !f);
+        let result = KInduction::new(&sys, 1).check(&[p]);
+        assert_eq!(result.proved, vec![p]);
+    }
+
+    #[test]
+    fn journal_records_induction_span() {
+        let (sys, props) = zoo();
+        let journal = Journal::new();
+        KInduction::new(&sys, 2)
+            .journal(journal.clone())
+            .check(&props);
+        let spans: Vec<_> = journal
+            .events()
+            .iter()
+            .filter_map(|e| match &e.kind {
+                japrove_obs::EventKind::Span { phase, label, .. } => Some((*phase, label.clone())),
+                _ => None,
+            })
+            .collect();
+        assert!(spans.contains(&(Phase::Induction, Some("k2".into()))));
+    }
+}

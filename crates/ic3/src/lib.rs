@@ -10,6 +10,8 @@
 //!   (§6),
 //! * [`Bmc`] — incremental bounded model checking (the paper's BMC
 //!   baseline of Table I),
+//! * [`KInduction`] — joint k-induction over whole candidate sets
+//!   with a CEGAR drop loop (the promotion filter of property mining),
 //! * [`verify_certificate`] — independent SAT-based checking of the
 //!   inductive invariants the engines emit,
 //! * [`TsEncoding`] — the shared CNF encoding of an `(I, T)`-system,
@@ -45,6 +47,7 @@ mod ctx;
 mod encode;
 mod engine;
 mod invariant;
+mod kind;
 mod options;
 mod result;
 
@@ -53,6 +56,7 @@ pub use ctx::{ClauseSource, SolverCtx};
 pub use encode::TsEncoding;
 pub use engine::Ic3;
 pub use invariant::{verify_certificate, CertificateError};
+pub use kind::{KInduction, KInductionResult};
 pub use options::{Ic3Options, Lifting};
 pub use result::{Certificate, CheckOutcome, Counterexample, RunStats, UnknownReason};
 

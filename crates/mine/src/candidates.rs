@@ -1,0 +1,457 @@
+//! Candidate-invariant guessing from simulation signatures.
+//!
+//! One 64-way random simulation run produces a *history*: the word
+//! value of every latch at every step (bit `k` of a word belongs to
+//! simulated instance `k`). Everything the history never falsified is
+//! a candidate:
+//!
+//! * **const** — a latch never left its reset polarity,
+//! * **equiv** — two latches always carried identical (or always
+//!   complementary) words, detected by hashing polarity-normalized
+//!   value signatures (van Eijk's equivalence classes),
+//! * **implication** — a latch pair never visited one of its four
+//!   value combinations (`i → j`, pairwise mutex `¬(i ∧ j)`, pairwise
+//!   cover `i ∨ j`),
+//! * **one_hot** — a greedy clique of pairwise-mutex latches, promoted
+//!   to *exactly-one* when some member was high at every observed
+//!   step, *at-most-one* otherwise,
+//! * **range** — a window of consecutive latches, read LSB-first as a
+//!   word, that never exceeded an observed maximum below the window's
+//!   full range.
+//!
+//! Guessing is deterministic: latches are scanned in index order and
+//! every candidate name encodes its latch indices, so a candidate's
+//! provenance survives into the mined property list.
+
+use crate::options::MineOptions;
+use japrove_aig::{Aig, AigLit};
+use japrove_tsys::Word;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The mining taxonomy: which guessing rule produced a candidate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CandidateKind {
+    /// A latch stuck at its reset polarity.
+    ConstLatch,
+    /// Two latches always equal (or always complementary).
+    Equivalence,
+    /// A pairwise implication / mutex / cover between two latches.
+    Implication,
+    /// An exactly-one or at-most-one constraint over a mutex clique.
+    OneHot,
+    /// An observed upper bound on a latch window read as a word.
+    Range,
+}
+
+impl CandidateKind {
+    /// Every kind, in display order (the order stats are reported in).
+    pub const ALL: &'static [CandidateKind] = &[
+        CandidateKind::ConstLatch,
+        CandidateKind::Equivalence,
+        CandidateKind::Implication,
+        CandidateKind::OneHot,
+        CandidateKind::Range,
+    ];
+
+    /// The wire name used in journal events and bench output.
+    pub fn name(self) -> &'static str {
+        match self {
+            CandidateKind::ConstLatch => "const",
+            CandidateKind::Equivalence => "equiv",
+            CandidateKind::Implication => "implication",
+            CandidateKind::OneHot => "one_hot",
+            CandidateKind::Range => "range",
+        }
+    }
+}
+
+impl fmt::Display for CandidateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One guessed invariant: a named good-literal in the mined AIG.
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    /// Stable name encoding the rule and the latch indices involved
+    /// (e.g. `eq_l3_l17`, `range_l8_w4_le11`).
+    pub name: String,
+    /// The guessing rule that produced it.
+    pub kind: CandidateKind,
+    /// The property literal: the candidate holds in a state iff this
+    /// edge evaluates to true.
+    pub good: AigLit,
+}
+
+/// Everything `generate` derived, plus how much the candidate cap cut.
+pub(crate) struct Generated {
+    pub candidates: Vec<Candidate>,
+    /// Candidates dropped by [`MineOptions::max_candidates`] — they are
+    /// counted so no cap is ever silent.
+    pub truncated: usize,
+}
+
+/// Derives candidates from `history` (one row per observed step, one
+/// word per latch), building their good-literals into `aig` (the
+/// original design plus monitor gates).
+pub(crate) fn generate(aig: &mut Aig, history: &[Vec<u64>], opts: &MineOptions) -> Generated {
+    let num_latches = aig.num_latches();
+    let latch_lit: Vec<AigLit> = aig
+        .latches()
+        .iter()
+        .map(|l| AigLit::new(l.node, false))
+        .collect();
+    let mut out = Vec::new();
+
+    // --- const: a latch that never left one polarity. ---------------
+    let mut ever_one = vec![false; num_latches];
+    let mut ever_zero = vec![false; num_latches];
+    for row in history {
+        for (i, &w) in row.iter().enumerate() {
+            ever_one[i] |= w != 0;
+            ever_zero[i] |= w != u64::MAX;
+        }
+    }
+    let is_const: Vec<bool> = (0..num_latches)
+        .map(|i| !ever_one[i] || !ever_zero[i])
+        .collect();
+    for i in 0..num_latches {
+        if !ever_one[i] {
+            out.push(Candidate {
+                name: format!("const0_l{i}"),
+                kind: CandidateKind::ConstLatch,
+                good: !latch_lit[i],
+            });
+        } else if !ever_zero[i] {
+            out.push(Candidate {
+                name: format!("const1_l{i}"),
+                kind: CandidateKind::ConstLatch,
+                good: latch_lit[i],
+            });
+        }
+    }
+
+    // --- equiv: identical polarity-normalized value signatures. ------
+    // Normalizing on instance 0 of step 0 folds complementary pairs
+    // into one class; the stored flag remembers each member's polarity.
+    let mut classes: HashMap<Vec<u64>, (usize, bool)> = HashMap::new();
+    let mut class_of: Vec<Option<usize>> = vec![None; num_latches];
+    for i in 0..num_latches {
+        if is_const[i] {
+            continue;
+        }
+        let mut sig: Vec<u64> = history.iter().map(|row| row[i]).collect();
+        let flipped = sig.first().is_some_and(|w| w & 1 == 1);
+        if flipped {
+            for w in &mut sig {
+                *w = !*w;
+            }
+        }
+        match classes.entry(sig) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert((i, flipped));
+            }
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let (rep, rep_flipped) = *e.get();
+                class_of[i] = Some(rep);
+                class_of[rep] = Some(rep);
+                let same_polarity = flipped == rep_flipped;
+                let good = if same_polarity {
+                    aig.eq(latch_lit[rep], latch_lit[i])
+                } else {
+                    aig.xor(latch_lit[rep], latch_lit[i])
+                };
+                out.push(Candidate {
+                    name: format!("{}_l{rep}_l{i}", if same_polarity { "eq" } else { "neq" }),
+                    kind: CandidateKind::Equivalence,
+                    good,
+                });
+            }
+        }
+    }
+
+    // --- implication / mutex / cover: the pair relation matrix. ------
+    // Over the first `max_pair_latches` non-const latches, record which
+    // of the four value combinations each pair ever visited.
+    let pool: Vec<usize> = (0..num_latches)
+        .filter(|&i| !is_const[i])
+        .take(opts.max_pair_latches)
+        .collect();
+    let same_class = |i: usize, j: usize| match (class_of[i], class_of[j]) {
+        (Some(a), Some(b)) => a == b,
+        _ => false,
+    };
+    let n = pool.len();
+    // ever[p] bits: 1 = saw (1,1), 2 = saw (1,0), 4 = saw (0,1),
+    // 8 = saw (0,0), for the pair at flat index p.
+    let mut ever = vec![0u8; n * n];
+    for row in history {
+        for (a, &i) in pool.iter().enumerate() {
+            let wi = row[i];
+            for (b, &j) in pool.iter().enumerate().skip(a + 1) {
+                let wj = row[j];
+                let mut bits = 0u8;
+                bits |= u8::from(wi & wj != 0);
+                bits |= u8::from(wi & !wj != 0) << 1;
+                bits |= u8::from(!wi & wj != 0) << 2;
+                bits |= u8::from(!wi & !wj != 0) << 3;
+                ever[a * n + b] |= bits;
+            }
+        }
+    }
+    let mut mutex_pair = vec![false; n * n];
+    for a in 0..n {
+        let i = pool[a];
+        for b in (a + 1)..n {
+            let j = pool[b];
+            if same_class(i, j) {
+                continue; // subsumed by the equiv candidate
+            }
+            let bits = ever[a * n + b];
+            let never10 = bits & 2 == 0;
+            let never01 = bits & 4 == 0;
+            let never11 = bits & 1 == 0;
+            let never00 = bits & 8 == 0;
+            // Both directions missing would be an equivalence the class
+            // pass somehow missed; both 11 and 00 missing likewise an
+            // antivalence. Neither can happen for distinct classes.
+            if never10 && !never01 {
+                let good = aig.implies(latch_lit[i], latch_lit[j]);
+                out.push(Candidate {
+                    name: format!("imp_l{i}_l{j}"),
+                    kind: CandidateKind::Implication,
+                    good,
+                });
+            } else if never01 && !never10 {
+                let good = aig.implies(latch_lit[j], latch_lit[i]);
+                out.push(Candidate {
+                    name: format!("imp_l{j}_l{i}"),
+                    kind: CandidateKind::Implication,
+                    good,
+                });
+            }
+            if never11 && !never00 {
+                mutex_pair[a * n + b] = true;
+                let good = aig.and(latch_lit[i], latch_lit[j]);
+                out.push(Candidate {
+                    name: format!("mutex_l{i}_l{j}"),
+                    kind: CandidateKind::Implication,
+                    good: !good,
+                });
+            } else if never00 && !never11 {
+                let good = aig.or(latch_lit[i], latch_lit[j]);
+                out.push(Candidate {
+                    name: format!("or_l{i}_l{j}"),
+                    kind: CandidateKind::Implication,
+                    good,
+                });
+            }
+        }
+    }
+
+    // --- one_hot: greedy cliques in the mutex graph. -----------------
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for a in 0..n {
+        let joined = groups
+            .iter_mut()
+            .find(|g| g.iter().all(|&b| mutex_pair[b.min(a) * n + b.max(a)]));
+        match joined {
+            Some(g) => g.push(a),
+            None => groups.push(vec![a]),
+        }
+    }
+    for (gi, group) in groups.iter().filter(|g| g.len() >= 3).enumerate() {
+        let members: Vec<usize> = group.iter().map(|&a| pool[a]).collect();
+        // At-least-one holds iff in every observed step every instance
+        // had some member high.
+        let alo = history
+            .iter()
+            .all(|row| members.iter().fold(0u64, |acc, &i| acc | row[i]) == u64::MAX);
+        let pair_ands: Vec<AigLit> = members
+            .iter()
+            .enumerate()
+            .flat_map(|(x, &i)| {
+                members[x + 1..]
+                    .iter()
+                    .map(|&j| aig.and(latch_lit[i], latch_lit[j]))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let two_high = aig.or_many(pair_ands);
+        let (prefix, good) = if alo {
+            let any = aig.or_many(members.iter().map(|&i| latch_lit[i]));
+            ("onehot", aig.and(any, !two_high))
+        } else {
+            ("amo", !two_high)
+        };
+        out.push(Candidate {
+            name: format!("{prefix}_g{gi}_n{}", members.len()),
+            kind: CandidateKind::OneHot,
+            good,
+        });
+    }
+
+    // --- range: observed maxima of consecutive-latch windows. --------
+    for width in 2..=opts.range_max_width {
+        if width > num_latches {
+            break;
+        }
+        let full = if width >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        for start in 0..=(num_latches - width) {
+            if (start..start + width).any(|i| is_const[i]) {
+                continue;
+            }
+            let mut max_seen = 0u64;
+            for row in history {
+                for bit in 0..64 {
+                    let mut v = 0u64;
+                    for t in 0..width {
+                        v |= ((row[start + t] >> bit) & 1) << t;
+                    }
+                    max_seen = max_seen.max(v);
+                }
+                if max_seen == full {
+                    break;
+                }
+            }
+            if max_seen < full {
+                let word = Word::from_bits((start..start + width).map(|i| latch_lit[i]).collect());
+                let good = word.le_const(aig, max_seen);
+                out.push(Candidate {
+                    name: format!("range_l{start}_w{width}_le{max_seen}"),
+                    kind: CandidateKind::Range,
+                    good,
+                });
+            }
+        }
+    }
+
+    let truncated = out.len().saturating_sub(opts.max_candidates);
+    out.truncate(opts.max_candidates);
+    Generated {
+        candidates: out,
+        truncated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> MineOptions {
+        MineOptions::new()
+    }
+
+    /// History rows are [step][latch] words.
+    fn run(aig: &mut Aig, history: &[Vec<u64>]) -> Vec<Candidate> {
+        generate(aig, history, &opts()).candidates
+    }
+
+    #[test]
+    fn const_and_equiv_detection() {
+        let mut aig = Aig::new();
+        for _ in 0..4 {
+            aig.add_latch(false);
+        }
+        // l0 stuck low, l1 stuck high, l2 == l3 (non-const).
+        let history = vec![vec![0, u64::MAX, 5, 5], vec![0, u64::MAX, 9, 9]];
+        let cands = run(&mut aig, &history);
+        let names: Vec<&str> = cands.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"const0_l0"));
+        assert!(names.contains(&"const1_l1"));
+        assert!(names.contains(&"eq_l2_l3"));
+    }
+
+    #[test]
+    fn antivalence_normalizes_into_one_class() {
+        let mut aig = Aig::new();
+        for _ in 0..2 {
+            aig.add_latch(false);
+        }
+        let history = vec![vec![5, !5u64], vec![12, !12u64]];
+        let cands = run(&mut aig, &history);
+        assert!(cands.iter().any(|c| c.name == "neq_l0_l1"));
+        // The pair pass must not re-derive the same fact as mutex+cover.
+        assert!(!cands.iter().any(|c| c.name.starts_with("mutex_")));
+        assert!(!cands.iter().any(|c| c.name.starts_with("or_")));
+    }
+
+    #[test]
+    fn implications_mutex_and_onehot() {
+        let mut aig = Aig::new();
+        for _ in 0..3 {
+            aig.add_latch(false);
+        }
+        // Ring-like: exactly one of l0..l2 high per instance-step.
+        // Also yields imp-free mutex pairs.
+        let history = vec![
+            vec![0b001, 0b010, 0b100],
+            vec![0b100, 0b001, 0b010],
+            vec![0b010, 0b100, 0b001],
+        ];
+        // Each word must be "instances": make every instance one-hot.
+        // Instance b of step s: exactly one latch has bit b set. The
+        // unused upper 61 bits are all-zero in every latch, so
+        // at-least-one does NOT hold over the full 64 instances.
+        let cands = run(&mut aig, &history);
+        let names: Vec<&str> = cands.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"mutex_l0_l1"));
+        assert!(names.contains(&"mutex_l0_l2"));
+        assert!(names.contains(&"mutex_l1_l2"));
+        assert!(names.contains(&"amo_g0_n3"), "{names:?}");
+    }
+
+    #[test]
+    fn onehot_promotes_with_full_instances() {
+        let mut aig = Aig::new();
+        for _ in 0..3 {
+            aig.add_latch(false);
+        }
+        // All 64 instances carry exactly one high member.
+        let a = 0xAAAA_AAAA_AAAA_AAAAu64;
+        let b = 0x5555_5555_5555_5554u64;
+        let c = 1u64;
+        assert_eq!(a | b | c, u64::MAX);
+        let history = vec![vec![a, b, c], vec![c, a, b]];
+        let cands = run(&mut aig, &history);
+        assert!(cands.iter().any(|c| c.name == "onehot_g0_n3"));
+    }
+
+    #[test]
+    fn range_windows_record_observed_maxima() {
+        let mut aig = Aig::new();
+        for _ in 0..3 {
+            aig.add_latch(false);
+        }
+        // LSB-first window l0..l2 sees values 0, 5, 2: max 5 of range
+        // 7. All instances identical (all-zeros or all-ones words).
+        let m = u64::MAX;
+        let history = vec![vec![0, 0, 0], vec![m, 0, m], vec![0, m, 0]];
+        let cands = run(&mut aig, &history);
+        assert!(
+            cands.iter().any(|c| c.name == "range_l0_w3_le5"),
+            "{:?}",
+            cands.iter().map(|c| &c.name).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn candidate_cap_is_counted_not_silent() {
+        let mut aig = Aig::new();
+        for _ in 0..6 {
+            aig.add_latch(false);
+        }
+        let history = vec![vec![0; 6]]; // six const candidates
+        let mut o = MineOptions::new();
+        o.max_candidates = 4;
+        let g = generate(&mut aig, &history, &o);
+        assert_eq!(g.candidates.len(), 4);
+        assert_eq!(g.truncated, 2);
+    }
+}

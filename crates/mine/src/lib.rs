@@ -1,0 +1,435 @@
+//! Property mining: verify a design that carries *no* spec.
+//!
+//! Goldberg's multi-property machinery pays off in proportion to how
+//! many properties a design carries. This crate *generates* that
+//! workload from a bare design, the way TIUP and van Eijk-style
+//! equivalence mining do, in three stages:
+//!
+//! 1. **Guess** (see [`CandidateKind`]): one 64-way random simulation run on
+//!    [`japrove_aig::Simulator`]; everything the run never falsified
+//!    becomes a candidate — constant latches, latch equivalences,
+//!    pairwise implications, one-hot groups, range bounds.
+//! 2. **Filter**: several deeper fresh-seed simulation runs kill false
+//!    candidates in one batched pass per run
+//!    ([`Simulator::filter_monitors`](japrove_aig::Simulator::filter_monitors)).
+//! 3. **Promote**: a joint k-induction fixpoint
+//!    ([`japrove_ic3::KInduction`]) drops everything not provable and
+//!    returns the rest as *sound* invariants, packaged as a
+//!    [`TransitionSystem`] ready for any verification driver.
+//!
+//! Every stage reports into the run journal (`mine`/`mine_sim`/
+//! `induction` spans, per-kind `mined` provenance events) and into
+//! [`MiningStats`], so the `mining_ablation` bench can account for
+//! every candidate: `generated = sim_killed + induction_killed +
+//! promoted`.
+//!
+//! Note on constraints: random stimulus ignores design constraints, so
+//! on constrained designs the filter may kill candidates that are true
+//! under the constraints — a yield loss, never a soundness loss (the
+//! induction check does assume constraints).
+//!
+//! # Examples
+//!
+//! ```
+//! use japrove_aig::Aig;
+//! use japrove_mine::{mine, MineOptions};
+//! use japrove_tsys::TransitionSystem;
+//!
+//! // Two identical toggles: their equivalence (among others) is
+//! // minable and provable.
+//! let mut aig = Aig::new();
+//! let a = aig.add_latch(false);
+//! let b = aig.add_latch(false);
+//! aig.set_next(a, !a);
+//! aig.set_next(b, !b);
+//! let sys = TransitionSystem::new("toggles", aig);
+//!
+//! let outcome = mine(&sys, &MineOptions::new());
+//! let names: Vec<_> = outcome.sys.properties().iter().map(|p| p.name.as_str()).collect();
+//! assert!(names.contains(&"eq_l0_l1"));
+//! assert_eq!(outcome.stats.promoted(), outcome.sys.num_properties());
+//! ```
+
+mod candidates;
+mod options;
+
+pub use candidates::{Candidate, CandidateKind};
+pub use options::MineOptions;
+
+use japrove_aig::Simulator;
+use japrove_ic3::KInduction;
+use japrove_obs::{EventKind, Phase};
+use japrove_rng::SplitMix64;
+use japrove_tsys::{PropertyId, TransitionSystem};
+use std::time::Instant;
+
+/// Per-kind accounting of one mining pass; every generated candidate
+/// lands in exactly one of the three kill/keep buckets.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KindStats {
+    /// Candidates guessed from the signature run.
+    pub generated: usize,
+    /// Killed by the random-simulation filter (these are genuinely
+    /// false, witnessed by a concrete run).
+    pub sim_killed: usize,
+    /// Killed by the induction base case (also genuinely false: an
+    /// initialized trace reaches a violation within `k` steps).
+    pub base_killed: usize,
+    /// Dropped by the induction step case or left unclassified by a
+    /// budget: not provable at this `k`, truth unknown.
+    pub step_killed: usize,
+    /// Survivors promoted to properties of the mined system.
+    pub promoted: usize,
+}
+
+impl KindStats {
+    /// Total induction-stage kills (base + step).
+    pub fn induction_killed(&self) -> usize {
+        self.base_killed + self.step_killed
+    }
+}
+
+/// Counters and wall-clock of one mining pass, per candidate kind and
+/// per stage.
+#[derive(Clone, Debug, Default)]
+pub struct MiningStats {
+    /// One row per [`CandidateKind::ALL`] entry, in that order.
+    pub kinds: Vec<KindStats>,
+    /// Candidates dropped by [`MineOptions::max_candidates`] before any
+    /// stage ran (not part of any kind row).
+    pub truncated: usize,
+    /// Wall-clock of the guessing run + candidate construction, µs.
+    pub gen_us: u64,
+    /// Wall-clock of the simulation filter, µs.
+    pub sim_us: u64,
+    /// Wall-clock of the k-induction promotion, µs.
+    pub induction_us: u64,
+    /// CEGAR rounds the induction step fixpoint needed.
+    pub rounds: usize,
+}
+
+impl MiningStats {
+    fn total(&self, f: impl Fn(&KindStats) -> usize) -> usize {
+        self.kinds.iter().map(f).sum()
+    }
+
+    /// Total candidates generated (before any filtering).
+    pub fn generated(&self) -> usize {
+        self.total(|k| k.generated)
+    }
+
+    /// Total simulation-filter kills.
+    pub fn sim_killed(&self) -> usize {
+        self.total(|k| k.sim_killed)
+    }
+
+    /// Total induction kills (base + step + unclassified).
+    pub fn induction_killed(&self) -> usize {
+        self.total(|k| k.induction_killed())
+    }
+
+    /// Total promoted survivors.
+    pub fn promoted(&self) -> usize {
+        self.total(|k| k.promoted)
+    }
+
+    /// The row for one candidate kind.
+    pub fn kind(&self, kind: CandidateKind) -> KindStats {
+        let idx = CandidateKind::ALL.iter().position(|&k| k == kind);
+        idx.and_then(|i| self.kinds.get(i))
+            .copied()
+            .unwrap_or_default()
+    }
+}
+
+/// The product of one mining pass.
+#[derive(Clone, Debug)]
+pub struct MiningOutcome {
+    /// The original design (plus monitor gates) carrying every promoted
+    /// candidate as a property, named `<design>#mined`. Each property
+    /// is a *proved* invariant — any sound driver must report it as
+    /// holding.
+    pub sys: TransitionSystem,
+    /// The kind of each promoted property, parallel to
+    /// `sys.properties()`.
+    pub kinds: Vec<CandidateKind>,
+    /// Per-kind, per-stage accounting.
+    pub stats: MiningStats,
+}
+
+/// Where a candidate ended up, used to fold the pipeline's three
+/// stages into per-kind rows.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Fate {
+    SimKilled,
+    BaseKilled,
+    StepKilled,
+    Promoted,
+}
+
+/// Runs the full guess → filter → promote pipeline on `sys` (its
+/// existing properties, if any, are ignored — mining reads only the
+/// design) and returns the mined system plus accounting. See the
+/// [module docs](self) for the pipeline and its soundness argument.
+///
+/// # Panics
+///
+/// Panics if `opts.k == 0`.
+pub fn mine(sys: &TransitionSystem, opts: &MineOptions) -> MiningOutcome {
+    assert!(opts.k >= 1, "k-induction needs k >= 1");
+    let journal = &opts.journal;
+    let span = journal.span_labeled(Phase::Mine, sys.name());
+    let mut aig = sys.aig().clone();
+
+    // Stage 1: guess from one 64-way run.
+    let gen_started = Instant::now();
+    let generated = {
+        let _span = journal.span_labeled(Phase::MineSim, "generate");
+        let mut rng = SplitMix64::seed_from_u64(opts.seed);
+        let mut sim = Simulator::new(&aig);
+        let mut history = Vec::with_capacity(opts.gen_steps + 1);
+        history.push(sim.state().to_vec());
+        let mut inputs = vec![0u64; aig.num_inputs()];
+        for _ in 0..opts.gen_steps {
+            for w in &mut inputs {
+                *w = rng.next_u64();
+            }
+            sim.step(&aig, &inputs);
+            history.push(sim.state().to_vec());
+        }
+        candidates::generate(&mut aig, &history, opts)
+    };
+    let cands = generated.candidates;
+    let gen_us = gen_started.elapsed().as_micros() as u64;
+
+    // The candidate system: every guess as a property, so the filter
+    // and the induction check share one design.
+    let mut cand_sys = TransitionSystem::new(format!("{}#cands", sys.name()), aig.clone());
+    for &c in sys.constraints() {
+        cand_sys.add_constraint(c);
+    }
+    for c in &cands {
+        cand_sys.add_property(c.name.clone(), c.good);
+    }
+
+    // Stage 2: batched random-simulation filtering on fresh seeds.
+    let sim_started = Instant::now();
+    let mut alive = vec![true; cands.len()];
+    if !cands.is_empty() {
+        let _span = journal.span_labeled(Phase::MineSim, "filter");
+        let goods: Vec<_> = cands.iter().map(|c| c.good).collect();
+        for run in 0..opts.filter_runs {
+            let mut rng = SplitMix64::seed_from_u64(
+                opts.seed ^ (run as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            );
+            let mut sim = Simulator::new(cand_sys.aig());
+            let left = sim.filter_monitors(
+                cand_sys.aig(),
+                &goods,
+                &mut alive,
+                opts.filter_steps,
+                |_, words| {
+                    for w in words {
+                        *w = rng.next_u64();
+                    }
+                },
+            );
+            if left == 0 {
+                break;
+            }
+        }
+    }
+    let sim_us = sim_started.elapsed().as_micros() as u64;
+
+    // Stage 3: joint k-induction promotion.
+    let induction_started = Instant::now();
+    let survivors: Vec<PropertyId> = cand_sys
+        .property_ids()
+        .filter(|p| alive[p.index()])
+        .collect();
+    let kres = if survivors.is_empty() {
+        Default::default()
+    } else {
+        KInduction::new(&cand_sys, opts.k)
+            .backend(opts.backend)
+            .budget(opts.budget)
+            .journal(journal.clone())
+            .check(&survivors)
+    };
+    let induction_us = induction_started.elapsed().as_micros() as u64;
+
+    // Fold the three stages into per-kind rows.
+    let mut fate: Vec<Fate> = alive
+        .iter()
+        .map(|&a| if a { Fate::StepKilled } else { Fate::SimKilled })
+        .collect();
+    for p in &kres.base_killed {
+        fate[p.index()] = Fate::BaseKilled;
+    }
+    for p in &kres.proved {
+        fate[p.index()] = Fate::Promoted;
+    }
+    let mut stats = MiningStats {
+        kinds: vec![KindStats::default(); CandidateKind::ALL.len()],
+        truncated: generated.truncated,
+        gen_us,
+        sim_us,
+        induction_us,
+        rounds: kres.rounds,
+    };
+    for (c, &f) in cands.iter().zip(&fate) {
+        let row = &mut stats.kinds[CandidateKind::ALL
+            .iter()
+            .position(|&k| k == c.kind)
+            .expect("kind is in ALL")];
+        row.generated += 1;
+        match f {
+            Fate::SimKilled => row.sim_killed += 1,
+            Fate::BaseKilled => row.base_killed += 1,
+            Fate::StepKilled => row.step_killed += 1,
+            Fate::Promoted => row.promoted += 1,
+        }
+    }
+    for (kind, row) in CandidateKind::ALL.iter().zip(&stats.kinds) {
+        if row.generated > 0 {
+            journal.event(EventKind::Mined {
+                kind: kind.name().to_string(),
+                generated: row.generated,
+                sim_killed: row.sim_killed,
+                induction_killed: row.induction_killed(),
+                promoted: row.promoted,
+            });
+        }
+    }
+
+    // The mined system: promoted survivors only, on the same AIG.
+    let mut mined = TransitionSystem::new(format!("{}#mined", sys.name()), aig);
+    for &c in sys.constraints() {
+        mined.add_constraint(c);
+    }
+    let mut kinds = Vec::with_capacity(kres.proved.len());
+    for p in &kres.proved {
+        let c = &cands[p.index()];
+        mined.add_property(c.name.clone(), c.good);
+        kinds.push(c.kind);
+    }
+    drop(span);
+    MiningOutcome {
+        sys: mined,
+        kinds,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use japrove_aig::Aig;
+    use japrove_tsys::Word;
+
+    /// A design with plenty to mine: a wrapping 3-bit counter, a
+    /// stuck-low latch, a shadow copy of counter bit 0, and a
+    /// free-input latch (nothing true to mine there).
+    fn rich_design() -> TransitionSystem {
+        let mut aig = Aig::new();
+        let c = Word::latches(&mut aig, 3, 0);
+        let n = c.increment(&mut aig);
+        c.set_next(&mut aig, &n);
+        let stuck = aig.add_latch(false);
+        aig.set_next(stuck, stuck);
+        let shadow = aig.add_latch(false);
+        aig.set_next(shadow, !c.bit(0)); // tracks next value of bit 0
+        let free = aig.add_latch(false);
+        let i = aig.add_input();
+        aig.set_next(free, i);
+        TransitionSystem::new("rich", aig)
+    }
+
+    #[test]
+    fn mines_and_promotes_true_invariants() {
+        let sys = rich_design();
+        let outcome = mine(&sys, &MineOptions::new());
+        let names: Vec<&str> = outcome
+            .sys
+            .properties()
+            .iter()
+            .map(|p| p.name.as_str())
+            .collect();
+        assert!(names.contains(&"const0_l3"), "{names:?}");
+        assert!(
+            names
+                .iter()
+                .any(|n| n.starts_with("eq_") || n.starts_with("neq_")),
+            "bit0 and its shadow are equivalent: {names:?}"
+        );
+        assert_eq!(outcome.kinds.len(), outcome.sys.num_properties());
+        // Nothing about the free latch can be promoted.
+        assert!(names.iter().all(|n| !n.contains("l5")), "{names:?}");
+    }
+
+    #[test]
+    fn accounting_adds_up() {
+        let sys = rich_design();
+        let outcome = mine(&sys, &MineOptions::new());
+        let s = &outcome.stats;
+        assert_eq!(
+            s.generated(),
+            s.sim_killed() + s.induction_killed() + s.promoted(),
+            "every candidate has exactly one fate"
+        );
+        assert_eq!(s.promoted(), outcome.sys.num_properties());
+        assert!(s.generated() > 0);
+        assert_eq!(s.truncated, 0);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let sys = rich_design();
+        let a = mine(&sys, &MineOptions::new());
+        let b = mine(&sys, &MineOptions::new());
+        let names = |o: &MiningOutcome| {
+            o.sys
+                .properties()
+                .iter()
+                .map(|p| p.name.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(names(&a), names(&b));
+        assert_eq!(a.stats.generated(), b.stats.generated());
+    }
+
+    #[test]
+    fn journal_carries_mining_provenance() {
+        let sys = rich_design();
+        let journal = japrove_obs::Journal::new();
+        let outcome = mine(&sys, &MineOptions::new().journal(journal.clone()));
+        let events = journal.events();
+        let mined_total: usize = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Mined { promoted, .. } => Some(*promoted),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(mined_total, outcome.sys.num_properties());
+        let phases: Vec<Phase> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Span { phase, .. } => Some(*phase),
+                _ => None,
+            })
+            .collect();
+        for expected in [Phase::Mine, Phase::MineSim, Phase::Induction] {
+            assert!(phases.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn empty_design_mines_nothing() {
+        let aig = Aig::new();
+        let sys = TransitionSystem::new("empty", aig);
+        let outcome = mine(&sys, &MineOptions::new());
+        assert_eq!(outcome.sys.num_properties(), 0);
+        assert_eq!(outcome.stats.generated(), 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Knobs of the mining pipeline.
+
+use japrove_obs::Journal;
+use japrove_sat::{BackendChoice, Budget};
+
+/// Configuration of one [`mine`](crate::mine) pass.
+///
+/// The defaults are tuned for the genbench families: a short guessing
+/// run (so deep behaviour is left for the filter to find), a filter
+/// that simulates several times deeper across fresh seeds, and a
+/// 2-induction promotion check.
+///
+/// # Examples
+///
+/// ```
+/// use japrove_mine::MineOptions;
+///
+/// let opts = MineOptions::new().k(3).seed(7);
+/// assert_eq!(opts.k, 3);
+/// assert_eq!(opts.seed, 7);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MineOptions {
+    /// Seed of the deterministic stimulus generator; the filter derives
+    /// one fresh stream per run from it.
+    pub seed: u64,
+    /// Steps of the 64-way candidate-guessing run. Shorter runs guess
+    /// more (and wronger) candidates, leaving more work to the filter.
+    pub gen_steps: usize,
+    /// Independent random filtering runs (each 64 instances wide, from
+    /// a fresh seed).
+    pub filter_runs: usize,
+    /// Steps per filtering run; deeper than `gen_steps` so the filter
+    /// can kill candidates the guess run never got to falsify.
+    pub filter_steps: usize,
+    /// Induction depth of the promotion check (CLI `--mine-depth`).
+    pub k: usize,
+    /// Cap on the latches entering the quadratic pair-relation pass;
+    /// latches beyond it still get const/range candidates.
+    pub max_pair_latches: usize,
+    /// Largest latch-window width tried for range candidates.
+    pub range_max_width: usize,
+    /// Hard cap on generated candidates. Never silent: the overflow is
+    /// reported in [`MiningStats::truncated`](crate::MiningStats).
+    pub max_candidates: usize,
+    /// SAT backend of the k-induction check.
+    pub backend: BackendChoice,
+    /// Budget of every individual induction/base query.
+    pub budget: Budget,
+    /// Observability journal: mining emits `mine`/`mine_sim`/
+    /// `induction` spans and per-kind `mined` provenance events.
+    pub journal: Journal,
+}
+
+impl MineOptions {
+    /// The tuned defaults described on the struct.
+    pub fn new() -> Self {
+        MineOptions {
+            seed: 0x6a70_726f_7665,
+            gen_steps: 24,
+            filter_runs: 4,
+            filter_steps: 48,
+            k: 2,
+            max_pair_latches: 256,
+            range_max_width: 8,
+            max_candidates: 16384,
+            backend: BackendChoice::default(),
+            budget: Budget::unlimited(),
+            journal: Journal::disabled(),
+        }
+    }
+
+    /// Sets the stimulus seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the guessing-run length.
+    pub fn gen_steps(mut self, steps: usize) -> Self {
+        self.gen_steps = steps;
+        self
+    }
+
+    /// Sets the number of filtering runs.
+    pub fn filter_runs(mut self, runs: usize) -> Self {
+        self.filter_runs = runs;
+        self
+    }
+
+    /// Sets the filtering-run depth.
+    pub fn filter_steps(mut self, steps: usize) -> Self {
+        self.filter_steps = steps;
+        self
+    }
+
+    /// Sets the induction depth (must be at least 1).
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets the SAT backend for promotion.
+    pub fn backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Bounds each promotion query.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Attaches an observability journal.
+    pub fn journal(mut self, journal: Journal) -> Self {
+        self.journal = journal;
+        self
+    }
+}
+
+impl Default for MineOptions {
+    fn default() -> Self {
+        MineOptions::new()
+    }
+}

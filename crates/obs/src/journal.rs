@@ -69,6 +69,15 @@ pub enum Phase {
     Property,
     /// The shallow BMC front-end of the joint driver.
     BmcFrontend,
+    /// A whole property-mining pass (candidate generation through
+    /// promotion) on one design.
+    Mine,
+    /// A simulation stage of mining: the candidate-guessing run or the
+    /// random filtering runs (labelled `generate` / `filter`).
+    MineSim,
+    /// A joint k-induction check (mining's promotion stage, or any
+    /// direct `KInduction` use).
+    Induction,
 }
 
 impl Phase {
@@ -81,6 +90,9 @@ impl Phase {
         Phase::JointAttempt,
         Phase::Property,
         Phase::BmcFrontend,
+        Phase::Mine,
+        Phase::MineSim,
+        Phase::Induction,
     ];
 
     /// The wire name used in JSONL (`phase` field).
@@ -93,6 +105,9 @@ impl Phase {
             Phase::JointAttempt => "joint_attempt",
             Phase::Property => "property",
             Phase::BmcFrontend => "bmc_frontend",
+            Phase::Mine => "mine",
+            Phase::MineSim => "mine_sim",
+            Phase::Induction => "induction",
         }
     }
 
@@ -180,6 +195,22 @@ pub enum EventKind {
         /// Clauses actually added (not already imported).
         added: usize,
     },
+    /// Per-kind provenance of one mining pass: how many candidates of
+    /// one taxonomy kind (`const`, `equiv`, `implication`, `one_hot`,
+    /// `range`) were generated and where each was retired. Invariant:
+    /// `generated = sim_killed + induction_killed + promoted`.
+    Mined {
+        /// Candidate-kind wire name (the mining taxonomy).
+        kind: String,
+        /// Candidates of this kind guessed from the signature run.
+        generated: usize,
+        /// Killed by the random-simulation filter.
+        sim_killed: usize,
+        /// Killed by the joint k-induction check (base or step).
+        induction_killed: usize,
+        /// Survivors promoted to real properties.
+        promoted: usize,
+    },
 }
 
 /// How often the solver emits [`EventKind::Sample`] records, in
@@ -197,6 +228,7 @@ impl EventKind {
             EventKind::Frame { .. } => "frame",
             EventKind::Unroll { .. } => "unroll",
             EventKind::Import { .. } => "import",
+            EventKind::Mined { .. } => "mined",
         }
     }
 }
@@ -280,6 +312,19 @@ impl Event {
                 pairs.push(("offered".into(), int(*offered as u64)));
                 pairs.push(("added".into(), int(*added as u64)));
             }
+            EventKind::Mined {
+                kind,
+                generated,
+                sim_killed,
+                induction_killed,
+                promoted,
+            } => {
+                pairs.push(("kind".into(), Value::Str(kind.clone())));
+                pairs.push(("generated".into(), int(*generated as u64)));
+                pairs.push(("sim_killed".into(), int(*sim_killed as u64)));
+                pairs.push(("induction_killed".into(), int(*induction_killed as u64)));
+                pairs.push(("promoted".into(), int(*promoted as u64)));
+            }
         }
         Value::Obj(pairs)
     }
@@ -347,6 +392,17 @@ impl Event {
             "import" => EventKind::Import {
                 offered: usize_field("offered")?,
                 added: usize_field("added")?,
+            },
+            "mined" => EventKind::Mined {
+                kind: v
+                    .get("kind")
+                    .and_then(Value::as_str)
+                    .ok_or(SchemaError::MissingField("kind"))?
+                    .to_string(),
+                generated: usize_field("generated")?,
+                sim_killed: usize_field("sim_killed")?,
+                induction_killed: usize_field("induction_killed")?,
+                promoted: usize_field("promoted")?,
             },
             other => return Err(SchemaError::UnknownEvent(other.to_string())),
         };
@@ -821,6 +877,13 @@ mod tests {
             j.event(EventKind::Import {
                 offered: 40,
                 added: 13,
+            });
+            j.event(EventKind::Mined {
+                kind: "equiv".into(),
+                generated: 120,
+                sim_killed: 30,
+                induction_killed: 15,
+                promoted: 75,
             });
         }
         let mut buf = Vec::new();

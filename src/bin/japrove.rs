@@ -7,11 +7,13 @@
 //! property.
 
 use japrove::core::{
-    grouped_verify, ja_verify, joint_verify, local_assumptions, parallel_clustered_verify,
-    parallel_ja_verify_with, separate_verify, validate_debugging_set, AffinityMetric,
-    ClusteredOptions, GroupingOptions, JointOptions, MultiReport, ParallelMode, SeparateOptions,
+    grouped_verify, ja_verify, joint_verify, local_assumptions, mine_verify,
+    parallel_clustered_verify, parallel_ja_verify_with, separate_verify, validate_debugging_set,
+    AffinityMetric, ClusteredOptions, GroupingOptions, JointOptions, MultiReport, ParallelMode,
+    SeparateOptions,
 };
 use japrove::ic3::Lifting;
+use japrove::mine::MineOptions;
 use japrove::obs::json::Value;
 use japrove::obs::metrics::{phase_breakdown, render_breakdown};
 use japrove::obs::{journal::parse_jsonl, FeatureStore, Journal, Phase, RunRecord};
@@ -45,6 +47,12 @@ OPTIONS:
     --no-reuse                disable clause re-use (§6)
     --gen <family>            verify a generated benchmark design (by
                               spec name, e.g. syn_6s260) instead of a file
+    --mine                    mine candidate invariants (const, equiv,
+                              implication, one-hot, range) from the design
+                              and verify the k-induction survivors as the
+                              property workload
+    --mine-depth <K>          induction depth for --mine promotion
+                              [default: 2]
     --trace-out <FILE>        write the run journal as JSONL
     --metrics                 print the per-phase time breakdown
     --json <FILE>             write the report (with per-property solver
@@ -62,6 +70,8 @@ OPTIONS:
 struct Cli {
     path: String,
     gen: Option<String>,
+    mine: bool,
+    mine_depth: Option<usize>,
     mode: String,
     affinity: AffinityMetric,
     threads: usize,
@@ -85,6 +95,8 @@ fn parse_args() -> Result<Cli, String> {
     let mut cli = Cli {
         path: String::new(),
         gen: None,
+        mine: false,
+        mine_depth: None,
         mode: "ja".into(),
         affinity: AffinityMetric::default(),
         threads: 2,
@@ -151,6 +163,16 @@ fn parse_args() -> Result<Cli, String> {
                 }
             }
             "--gen" => cli.gen = Some(value("--gen")?),
+            "--mine" => cli.mine = true,
+            "--mine-depth" => {
+                cli.mine_depth = Some(
+                    value("--mine-depth")?
+                        .parse()
+                        .ok()
+                        .filter(|&k| k >= 1)
+                        .ok_or_else(|| "invalid --mine-depth (need an integer >= 1)".to_string())?,
+                )
+            }
             "--trace-out" => cli.trace_out = Some(value("--trace-out")?),
             "--metrics" => cli.metrics = true,
             "--json" => cli.json_out = Some(value("--json")?),
@@ -175,22 +197,19 @@ fn parse_args() -> Result<Cli, String> {
     if !cli.path.is_empty() && cli.gen.is_some() {
         return Err("give either a design file or --gen, not both".into());
     }
+    if cli.mine_depth.is_some() && !cli.mine {
+        return Err("--mine-depth only makes sense with --mine".into());
+    }
     Ok(cli)
 }
 
 fn load_design(cli: &Cli) -> Result<TransitionSystem, String> {
     if let Some(family) = &cli.gen {
-        let spec = japrove::genbench::spec_by_name(family).ok_or_else(|| {
-            format!(
-                "unknown benchmark family '{family}' (available: {})",
-                japrove::genbench::spec_names().join(", ")
-            )
-        })?;
-        return Ok(spec.generate().sys);
+        return Ok(japrove::genbench::resolve_spec(family)?.generate().sys);
     }
     let bytes = std::fs::read(&cli.path).map_err(|e| format!("cannot read {}: {e}", cli.path))?;
     let model = japrove::aig::read_aiger(&bytes).map_err(|e| e.to_string())?;
-    if model.bads.is_empty() {
+    if model.bads.is_empty() && !cli.mine {
         return Err("design has no bad-state properties (B section)".into());
     }
     let name = std::path::Path::new(&cli.path)
@@ -226,27 +245,61 @@ fn run(cli: &Cli, journal: &Journal) -> Result<(MultiReport, TransitionSystem), 
         opts
     };
 
+    const MODES: &[&str] = &[
+        "ja",
+        "separate-global",
+        "joint",
+        "grouped",
+        "clustered",
+        "parallel",
+        "parallel-global",
+    ];
+    if !MODES.contains(&cli.mode.as_str()) {
+        return Err(format!("unknown mode '{}'", cli.mode));
+    }
+
     let _run_span = journal.span_labeled(Phase::Run, cli.mode.as_str());
-    let report = match cli.mode.as_str() {
-        "ja" => ja_verify(&sys, &sep),
-        "separate-global" => separate_verify(&sys, &global(sep.clone())),
-        "joint" => joint_verify(&sys, &joint),
-        "grouped" => grouped_verify(&sys, &GroupingOptions::new().joint(joint)),
+    let verify = |sys: &TransitionSystem| match cli.mode.as_str() {
+        "ja" => ja_verify(sys, &sep),
+        "separate-global" => separate_verify(sys, &global(sep.clone())),
+        "joint" => joint_verify(sys, &joint),
+        "grouped" => grouped_verify(sys, &GroupingOptions::new().joint(joint)),
         "clustered" => {
             let opts = ClusteredOptions::new()
                 .metric(cli.affinity)
                 .separate(global(sep.clone()))
                 .backend(cli.backend)
                 .journal(journal.clone());
-            parallel_clustered_verify(&sys, cli.threads, &opts)
+            parallel_clustered_verify(sys, cli.threads, &opts)
         }
-        "parallel" => parallel_ja_verify_with(&sys, cli.threads, &sep, cli.schedule),
+        "parallel" => parallel_ja_verify_with(sys, cli.threads, &sep, cli.schedule),
         "parallel-global" => {
-            parallel_ja_verify_with(&sys, cli.threads, &global(sep.clone()), cli.schedule)
+            parallel_ja_verify_with(sys, cli.threads, &global(sep.clone()), cli.schedule)
         }
-        other => return Err(format!("unknown mode '{other}'")),
+        other => unreachable!("mode '{other}' slipped past validation"),
     };
-    Ok((report, sys))
+
+    if cli.mine {
+        let k = cli.mine_depth.unwrap_or(2);
+        let opts = MineOptions::new()
+            .k(k)
+            .backend(cli.backend)
+            .journal(journal.clone());
+        let outcome = mine_verify(&sys, &opts, verify);
+        let s = &outcome.mined.stats;
+        // One deterministic line the CI smoke job greps; printed even
+        // under -q because it is the mining run's headline number.
+        println!(
+            "mined {} properties from {} ({} candidates, {} sim-killed, {} induction-killed; k={k})",
+            s.promoted(),
+            sys.name(),
+            s.generated(),
+            s.sim_killed(),
+            s.induction_killed(),
+        );
+        return Ok((outcome.report, outcome.mined.sys));
+    }
+    Ok((verify(&sys), sys))
 }
 
 /// Renders the report (with each property's engine and SAT counters)

@@ -13,9 +13,13 @@
 //!   abstraction the engines select per property,
 //! * [`aig`] — And-Inverter Graphs, AIGER 1.9 I/O, simulation,
 //! * [`tsys`] — transition systems, properties, traces, replay,
-//! * [`ic3`] — IC3/PDR and BMC engines with certificates,
+//! * [`ic3`] — IC3/PDR, BMC and joint k-induction engines with
+//!   certificates,
+//! * [`mine`] — property mining: guess candidate invariants from
+//!   simulation, filter them by deeper simulation, promote survivors
+//!   by k-induction,
 //! * [`core`] — JA-verification, joint verification, clause re-use,
-//!   debugging sets, parallel drivers,
+//!   debugging sets, parallel drivers, mining composition,
 //! * [`genbench`] — synthetic multi-property benchmark designs,
 //! * [`obs`] — the run journal: structured tracing, per-phase
 //!   metrics and the cross-run feature store.
@@ -40,6 +44,7 @@ pub use japrove_core as core;
 pub use japrove_genbench as genbench;
 pub use japrove_ic3 as ic3;
 pub use japrove_logic as logic;
+pub use japrove_mine as mine;
 pub use japrove_obs as obs;
 pub use japrove_sat as sat;
 pub use japrove_tsys as tsys;

@@ -354,6 +354,45 @@ fn clustered_certificates_and_counterexamples_check_out_on_the_original_design()
 }
 
 #[test]
+fn mined_workload_parity_between_clustered_and_separate() {
+    // A mined few-hundred-property workload is the adversarial case for
+    // the clustered driver: hundreds of structurally similar,
+    // all-holding properties that cluster aggressively. The clustered
+    // verdicts must match the separate baseline exactly, at 1 and at 8
+    // threads — and since every mined property is k-induction proved,
+    // neither driver may falsify or abandon anything.
+    use japrove::mine::{mine, MineOptions};
+    let design = japrove::genbench::resolve_spec("syn_6s135")
+        .expect("family exists")
+        .generate();
+    let outcome = mine(&design.sys, &MineOptions::new());
+    let sys = &outcome.sys;
+    assert!(
+        sys.num_properties() >= 200,
+        "need a few-hundred-property mined workload, got {}",
+        sys.num_properties()
+    );
+
+    let separate = separate_verify(sys, &SeparateOptions::global());
+    assert_eq!(separate.num_false(), 0, "mined properties cannot fail");
+    assert_eq!(separate.num_unsolved(), 0, "{}", separate.summary());
+
+    for threads in [1usize, 8] {
+        let clustered = parallel_clustered_verify(
+            sys,
+            threads,
+            &ClusteredOptions::new().separate(SeparateOptions::global()),
+        );
+        assert_eq!(separate.results.len(), clustered.results.len());
+        for (a, b) in separate.results.iter().zip(&clustered.results) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.holds(), b.holds(), "{}/{} x{threads}", sys.name(), a.name);
+            assert_eq!(a.fails(), b.fails(), "{}/{} x{threads}", sys.name(), a.name);
+        }
+    }
+}
+
+#[test]
 fn every_counterexample_replays() {
     for design in random_designs() {
         let sys = &design.sys;
