@@ -31,28 +31,16 @@
 //!    they are dealt hardest-first (total latch-support size) into the
 //!    same work-stealing deques the property-level driver uses.
 //!
-//! Under [`Scope::Local`] the joint attempt is skipped (aggregate
+//! Under [`Scope::Local`](crate::Scope::Local) the joint attempt is skipped (aggregate
 //! verdicts are global by construction) and the driver becomes
 //! JA-verification with cluster-scoped clause locality.
 
-use crate::affinity::{affinity_clusters_with, AffinityMetric};
-use crate::cluster::latch_supports;
-use crate::parallel::Dispatcher;
-use crate::separate::{check_one_imports, local_assumptions, CtxPool};
-use crate::{
-    joint_verify, ClauseDb, JointOptions, MultiReport, PropertyResult, Scope, SeparateOptions,
-    TwoLevelSource,
-};
-use japrove_ic3::{
-    Certificate, CheckOutcome, ClauseSource, Counterexample, Ic3Options, RunStats, TsEncoding,
-    UnknownReason,
-};
-use japrove_logic::{Clause, Var};
-use japrove_obs::{Journal, Phase};
+use crate::affinity::AffinityMetric;
+use crate::{JointOptions, MultiReport, SeparateOptions, Session};
+use japrove_ic3::Ic3Options;
+use japrove_obs::Journal;
 use japrove_sat::{BackendChoice, Budget};
-use japrove_tsys::{complete_trace, replay, CoiMap, PropertyId, TransitionSystem};
-use std::sync::Arc;
-use std::time::{Duration, Instant};
+use japrove_tsys::TransitionSystem;
 
 /// Conflict allowance of the default joint-attempt engine budget. The
 /// attempt exists to harvest cheap whole-cluster proofs; anything
@@ -66,8 +54,8 @@ const DEFAULT_JOINT_CONFLICTS: u64 = 20_000;
 /// per-property fallback options and the joint-attempt switch.
 ///
 /// The proof scope of [`ClusteredOptions::separate`] is honored:
-/// [`Scope::Global`] (the default) yields globally valid verdicts
-/// comparable to `joint`/`grouped`; [`Scope::Local`] turns the driver
+/// [`Scope::Global`](crate::Scope::Global) (the default) yields globally valid verdicts
+/// comparable to `joint`/`grouped`; [`Scope::Local`](crate::Scope::Local) turns the driver
 /// into JA-verification with cluster-scoped clause re-use (and skips
 /// the joint attempt, whose aggregate verdicts would be global). The
 /// `order` field of the embedded options is ignored — clusters define
@@ -233,260 +221,7 @@ pub fn parallel_clustered_verify(
     threads: usize,
     opts: &ClusteredOptions,
 ) -> MultiReport {
-    assert!(threads > 0, "need at least one worker thread");
-    let started = Instant::now();
-    let journal = &opts.separate.journal;
-    let deadline = opts.separate.total.map(|d| Instant::now() + d);
-    let assumed = match opts.separate.scope {
-        Scope::Local => local_assumptions(sys),
-        Scope::Global => Vec::new(),
-    };
-    let clusters = {
-        let _probe_span = journal.span(Phase::AffinityProbe);
-        affinity_clusters_with(
-            sys,
-            opts.metric,
-            opts.max_group_size,
-            opts.min_affinity,
-            opts.separate.backend,
-        )
-    };
-
-    // Hardest cluster first: total latch-support size estimates the
-    // cluster's proof work, so the long poles start early.
-    let supports = latch_supports(sys);
-    let weight = |c: &[PropertyId]| -> usize { c.iter().map(|p| supports[p.index()].len()).sum() };
-    let mut jobs: Vec<usize> = (0..clusters.len()).collect();
-    jobs.sort_by_key(|&c| std::cmp::Reverse(weight(&clusters[c])));
-
-    let scope_label = match opts.separate.scope {
-        Scope::Local => "clustered-ja",
-        Scope::Global => "clustered-global",
-    };
-    let mut report = MultiReport::new(
-        sys.name(),
-        format!(
-            "{scope_label}[{}] x{threads} ({} clusters)",
-            opts.metric,
-            clusters.len()
-        ),
-    );
-
-    let workers = threads.min(clusters.len());
-    if workers > 0 {
-        let enc = {
-            let _enc_span = journal.span(Phase::Encode);
-            Arc::new(TsEncoding::new(sys))
-        };
-        let global_db = ClauseDb::new();
-        let dispatcher = Dispatcher::new(&jobs, workers);
-        let mut results: Vec<PropertyResult> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for w in 0..workers {
-                let dispatcher = &dispatcher;
-                let enc = Arc::clone(&enc);
-                let global_db = global_db.clone();
-                let clusters = &clusters;
-                let assumed = &assumed;
-                handles.push(scope.spawn(move || {
-                    let mut pool = CtxPool::with_encoding(enc);
-                    pool.set_journal(opts.separate.journal.clone());
-                    let mut mine = Vec::new();
-                    while let Some(c) = dispatcher.pop(w) {
-                        mine.extend(verify_cluster(
-                            sys,
-                            c,
-                            &clusters[c],
-                            opts,
-                            assumed,
-                            &global_db,
-                            deadline,
-                            &mut pool,
-                        ));
-                    }
-                    mine
-                }));
-            }
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("worker thread panicked"))
-                .collect()
-        });
-        // Clusters partition the property set; restore declaration
-        // order for comparability with the other drivers.
-        results.sort_by_key(|r| r.id);
-        report.results = results;
-    }
-    report.total_time = started.elapsed();
-    report
-}
-
-/// Maps a certificate proved on a cone reduction back onto the
-/// original system: certificate clauses range over latch variables,
-/// which [`japrove_tsys::CoiMap::latches`] translates index-for-index.
-/// Sound because the kept latches evolve identically in both systems,
-/// so a clause holding in every reachable reduced state holds in every
-/// reachable original state.
-fn lift_certificate(cert: &Certificate, map: &CoiMap) -> Certificate {
-    Certificate {
-        clauses: cert
-            .clauses
-            .iter()
-            .map(|c| {
-                Clause::from_lits(c.lits().iter().map(|l| {
-                    Var::new(map.latches[l.var().index() as usize] as u32).lit(l.is_negated())
-                }))
-            })
-            .collect(),
-    }
-}
-
-/// Materializes a reduced-system counterexample on the original
-/// design: lift the input vectors, complete the trace by simulation,
-/// and confirm by replay that it still falsifies `id`. `None` (never
-/// expected — the kept cone behaves identically) sends the property to
-/// the per-property fallback instead of trusting a bad trace.
-fn lift_counterexample(
-    sys: &TransitionSystem,
-    map: &CoiMap,
-    id: PropertyId,
-    cex: &Counterexample,
-) -> Option<Counterexample> {
-    let inputs = map.lift_inputs(cex.trace.inputs());
-    let trace = complete_trace(sys, inputs);
-    let violates = replay(sys, &trace).is_ok_and(|r| r.violates_finally(id));
-    violates.then_some(Counterexample {
-        depth: cex.depth,
-        trace,
-    })
-}
-
-/// Verifies one cluster: optional joint attempt, then warm
-/// per-property checks with two-level clause re-use for whatever the
-/// attempt left open.
-#[allow(clippy::too_many_arguments)]
-fn verify_cluster(
-    sys: &TransitionSystem,
-    index: usize,
-    cluster: &[PropertyId],
-    opts: &ClusteredOptions,
-    assumed: &[PropertyId],
-    global_db: &ClauseDb,
-    deadline: Option<Instant>,
-    pool: &mut CtxPool,
-) -> Vec<PropertyResult> {
-    let _cluster_span = opts.separate.journal.span_labeled(
-        Phase::Cluster,
-        format!("cluster-{index} ({} props)", cluster.len()),
-    );
-    let reuse = opts.separate.reuse;
-    let cluster_db = ClauseDb::new();
-    let mut results = Vec::new();
-    let mut remaining: Vec<PropertyId> = cluster.to_vec();
-
-    // The joint attempt: one aggregate run can prove (or refute into)
-    // the whole cluster — and it runs on the cluster's
-    // *cone-of-influence reduction*, not the full design. Affinity
-    // clusters are cone-coherent, so the reduction is deep and the
-    // aggregate encode/solve cost shrinks with it; this is where the
-    // mode beats the grouped baseline (which re-encodes the whole
-    // design per group). Only under global scope — an aggregate
-    // counterexample refutes properties *globally*, which would
-    // contradict local verdicts for shadowed properties.
-    if opts.cluster_joint && opts.separate.scope == Scope::Global && cluster.len() >= 2 {
-        let (sub, map) = sys.restrict_to_cone(&remaining);
-        let mut jopts = opts.joint.clone();
-        if let Some(d) = deadline {
-            let left = d.saturating_duration_since(Instant::now());
-            jopts.total = Some(jopts.total.map_or(left, |t| t.min(left)));
-        }
-        let attempt = joint_verify(&sub, &jopts);
-        let mut solved = Vec::new();
-        for r in attempt.results {
-            let id = map.properties[r.id.index()];
-            // A cluster-level Unknown (budget, spurious aggregate
-            // counterexample, unliftable trace): leave the property to
-            // the fallback so grouping can never lose a verdict.
-            let outcome = match r.outcome {
-                CheckOutcome::Proved(cert) => {
-                    let lifted = lift_certificate(&cert, &map);
-                    if reuse {
-                        cluster_db.publish(lifted.clauses.iter().cloned());
-                    }
-                    Some(CheckOutcome::Proved(lifted))
-                }
-                CheckOutcome::Falsified(cex) => {
-                    lift_counterexample(sys, &map, id, &cex).map(CheckOutcome::Falsified)
-                }
-                CheckOutcome::Unknown(_) => None,
-            };
-            if let Some(outcome) = outcome {
-                solved.push(id);
-                results.push(PropertyResult {
-                    id,
-                    name: sys.property(id).name.clone(),
-                    outcome,
-                    scope: Scope::Global,
-                    time: r.time,
-                    frames: r.frames,
-                    retried: false,
-                    backend: r.backend,
-                    stats: r.stats,
-                });
-            }
-        }
-        remaining.retain(|p| !solved.contains(p));
-    }
-
-    // Warm per-property path: eager cluster import, lazy global
-    // refresh through the two-level source.
-    for &id in &remaining {
-        if deadline.is_some_and(|d| Instant::now() >= d) {
-            results.push(PropertyResult {
-                id,
-                name: sys.property(id).name.clone(),
-                outcome: CheckOutcome::Unknown(UnknownReason::Budget),
-                scope: opts.separate.scope,
-                time: Duration::ZERO,
-                frames: 0,
-                retried: false,
-                backend: opts.separate.backend_of(id),
-                stats: RunStats::default(),
-            });
-            continue;
-        }
-        let source = TwoLevelSource::new(&cluster_db, global_db);
-        let (imported, src): (_, Option<(&dyn ClauseSource, u64)>) = if reuse {
-            (
-                cluster_db.snapshot(),
-                Some((&source, source.primed_cursor())),
-            )
-        } else {
-            (Vec::new(), None)
-        };
-        let result = check_one_imports(
-            sys,
-            id,
-            assumed,
-            imported,
-            src,
-            &opts.separate,
-            deadline,
-            pool,
-        );
-        if reuse {
-            if let CheckOutcome::Proved(cert) = &result.outcome {
-                cluster_db.publish(cert.clauses.iter().cloned());
-            }
-        }
-        results.push(result);
-    }
-
-    // Share what the cluster learned with everyone else.
-    if reuse {
-        global_db.publish(cluster_db.snapshot());
-    }
-    results
+    Session::clustered(opts.clone(), threads).run(sys)
 }
 
 #[cfg(test)]
@@ -495,6 +230,7 @@ mod tests {
     use crate::{separate_verify, SeparateOptions};
     use japrove_aig::Aig;
     use japrove_tsys::Word;
+    use std::time::Duration;
 
     /// Counters of varying depth with a mix of true and false
     /// properties; properties on the same counter share cones.

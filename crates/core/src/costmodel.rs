@@ -1,0 +1,184 @@
+//! The learned per-property cost model behind `--schedule learned`.
+//!
+//! PR 6's [`FeatureStore`] records what every property actually cost
+//! (time, conflicts, decisions, …) keyed by the design's structural
+//! hash; this module closes the loop by reading those records back and
+//! predicting the cost of re-verifying each property. The planner uses
+//! the prediction in place of the COI-size proxy for dispatch order,
+//! and the affinity graph uses it as an extra edge signal — the
+//! "faster the more traffic it serves" ROADMAP story.
+//!
+//! The model is deliberately simple: per-feature max-normalization over
+//! the design's own records, then a fixed blend. It is not trying to
+//! predict wall-clock seconds — only to *rank* properties, which is
+//! all a hardest-first scheduler needs. Properties without a record
+//! ("cold") get no prediction; the planner falls back to the structural
+//! proxy for them.
+
+use japrove_obs::FeatureStore;
+use japrove_tsys::TransitionSystem;
+use std::collections::HashMap;
+
+/// Blend weights over the max-normalized features. Time dominates (it
+/// is the quantity the schedule actually optimizes); conflicts and
+/// decisions break ties between runs whose wall-clock was noisy.
+const W_TIME: f64 = 0.6;
+const W_CONFLICTS: f64 = 0.3;
+const W_DECISIONS: f64 = 0.1;
+
+/// Predicted verification cost per property of one design, in
+/// `[0, 1]`, learned from prior [`FeatureStore`] records.
+///
+/// Records are matched by the design's structural hash, so a renamed
+/// but logically identical design still hits its history.
+///
+/// # Examples
+///
+/// ```
+/// use japrove_core::CostModel;
+/// use japrove_obs::FeatureStore;
+/// # use japrove_aig::Aig;
+/// # use japrove_tsys::{TransitionSystem, Word};
+/// # let mut aig = Aig::new();
+/// # let w = Word::latches(&mut aig, 3, 0);
+/// # let n = w.increment(&mut aig);
+/// # w.set_next(&mut aig, &n);
+/// # let good = w.lt_const(&mut aig, 8);
+/// # let mut sys = TransitionSystem::new("cnt", aig);
+/// # sys.add_property("p0", good);
+/// let model = CostModel::from_store(&FeatureStore::default(), &sys);
+/// assert!(!model.is_warm());
+/// assert_eq!(model.predicted("p0"), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CostModel {
+    design: String,
+    costs: HashMap<String, f64>,
+}
+
+impl CostModel {
+    /// Builds the model for `sys` from `store`: every record whose
+    /// design hash matches contributes one prediction. Records for
+    /// other designs are ignored, so one shared store can serve a whole
+    /// benchmark suite.
+    pub fn from_store(store: &FeatureStore, sys: &TransitionSystem) -> CostModel {
+        let design = format!("{:016x}", sys.structural_hash());
+        // Newest record per property wins, whatever mode produced it:
+        // cost rank transfers across drivers far better than absolute
+        // time does.
+        let mut features: HashMap<String, (u64, u64, u64)> = HashMap::new();
+        for r in store.for_design(&design) {
+            features.insert(r.property.clone(), (r.time_us, r.conflicts, r.decisions));
+        }
+        let max_of = |f: fn(&(u64, u64, u64)) -> u64| features.values().map(f).max().unwrap_or(0);
+        let (max_t, max_c, max_d) = (max_of(|v| v.0), max_of(|v| v.1), max_of(|v| v.2));
+        let norm = |x: u64, max: u64| {
+            if max == 0 {
+                0.0
+            } else {
+                x as f64 / max as f64
+            }
+        };
+        let costs = features
+            .into_iter()
+            .map(|(name, (t, c, d))| {
+                let cost = W_TIME * norm(t, max_t)
+                    + W_CONFLICTS * norm(c, max_c)
+                    + W_DECISIONS * norm(d, max_d);
+                (name, cost)
+            })
+            .collect();
+        CostModel { design, costs }
+    }
+
+    /// The design hash this model was built for, in fixed-width hex.
+    pub fn design(&self) -> &str {
+        &self.design
+    }
+
+    /// The predicted cost of re-verifying `property`, in `[0, 1]`;
+    /// `None` if the store had no record for it (cold — the planner
+    /// falls back to the COI-size proxy).
+    pub fn predicted(&self, property: &str) -> Option<f64> {
+        self.costs.get(property).copied()
+    }
+
+    /// `true` if at least one property of this design has a record.
+    pub fn is_warm(&self) -> bool {
+        !self.costs.is_empty()
+    }
+
+    /// Number of properties with a prediction.
+    pub fn len(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// `true` if no property has a prediction.
+    pub fn is_empty(&self) -> bool {
+        self.costs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use japrove_aig::Aig;
+    use japrove_obs::RunRecord;
+    use japrove_tsys::Word;
+
+    fn two_prop_sys() -> TransitionSystem {
+        let mut aig = Aig::new();
+        let w = Word::latches(&mut aig, 3, 0);
+        let n = w.increment(&mut aig);
+        w.set_next(&mut aig, &n);
+        let a = w.lt_const(&mut aig, 8);
+        let b = w.le_const(&mut aig, 7);
+        let mut sys = TransitionSystem::new("cnt", aig);
+        sys.add_property("pa", a);
+        sys.add_property("pb", b);
+        sys
+    }
+
+    fn record(design: &str, property: &str, time_us: u64, conflicts: u64) -> RunRecord {
+        RunRecord {
+            design: design.into(),
+            property: property.into(),
+            mode: "ja".into(),
+            verdict: "holds".into(),
+            time_us,
+            frames: 2,
+            conflicts,
+            decisions: conflicts * 2,
+            propagations: conflicts * 10,
+            restarts: 0,
+        }
+    }
+
+    #[test]
+    fn predictions_rank_by_recorded_cost_and_stay_bounded() {
+        let sys = two_prop_sys();
+        let design = format!("{:016x}", sys.structural_hash());
+        let mut store = FeatureStore::default();
+        store.upsert(record(&design, "pa", 50_000, 900));
+        store.upsert(record(&design, "pb", 1_000, 10));
+        let model = CostModel::from_store(&store, &sys);
+        assert!(model.is_warm());
+        assert_eq!(model.len(), 2);
+        let (a, b) = (
+            model.predicted("pa").unwrap(),
+            model.predicted("pb").unwrap(),
+        );
+        assert!(a > b, "pa recorded far more expensive: {a} vs {b}");
+        assert!((0.0..=1.0).contains(&a) && (0.0..=1.0).contains(&b));
+        assert_eq!(model.predicted("missing"), None);
+    }
+
+    #[test]
+    fn records_of_other_designs_are_ignored() {
+        let sys = two_prop_sys();
+        let mut store = FeatureStore::default();
+        store.upsert(record("ffffffffffffffff", "pa", 50_000, 900));
+        let model = CostModel::from_store(&store, &sys);
+        assert!(!model.is_warm());
+    }
+}

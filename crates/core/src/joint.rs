@@ -7,15 +7,13 @@
 //! of the paper. Optionally a BMC front-end runs first (our stand-in
 //! for the ABC baseline configuration of Tables I, III and IV).
 
-use crate::{MultiReport, PropertyResult, Scope};
+use crate::MultiReport;
 use japrove_aig::AigLit;
-use japrove_ic3::{
-    Bmc, BmcResult, CheckOutcome, Counterexample, Ic3, Ic3Options, RunStats, UnknownReason,
-};
-use japrove_obs::{Journal, Phase};
-use japrove_sat::{BackendChoice, Budget};
+use japrove_ic3::{Counterexample, Ic3Options};
+use japrove_obs::Journal;
+use japrove_sat::BackendChoice;
 use japrove_tsys::{replay, PropertyId, TransitionSystem};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Options for joint verification.
 ///
@@ -122,7 +120,7 @@ impl Default for JointOptions {
 
 /// Builds a copy of `sys` with one extra property: the conjunction of
 /// the given properties (the aggregate property `P = P1 & ... & Pk`).
-fn aggregate_system(
+pub(crate) fn aggregate_system(
     sys: &TransitionSystem,
     props: &[PropertyId],
 ) -> (TransitionSystem, PropertyId) {
@@ -181,162 +179,5 @@ pub(crate) fn falsified_by_replay(
 /// assert_eq!(report.num_false(), 1);
 /// ```
 pub fn joint_verify(sys: &TransitionSystem, opts: &JointOptions) -> MultiReport {
-    let started = Instant::now();
-    let deadline = opts.total.map(|d| Instant::now() + d);
-    let mut report = MultiReport::new(
-        sys.name(),
-        if opts.bmc_depth.is_some() {
-            "joint (bmc+ic3)"
-        } else {
-            "joint"
-        },
-    );
-    let mut remaining: Vec<PropertyId> = opts
-        .subset
-        .clone()
-        .unwrap_or_else(|| sys.property_ids().collect());
-
-    let push_result = |report: &mut MultiReport,
-                       id: PropertyId,
-                       outcome: CheckOutcome,
-                       frames: usize,
-                       stats: RunStats,
-                       t0: Instant| {
-        report.results.push(PropertyResult {
-            id,
-            name: sys.property(id).name.clone(),
-            outcome,
-            scope: Scope::Global,
-            time: t0.elapsed(),
-            frames,
-            retried: false,
-            backend: opts.backend,
-            stats,
-        });
-    };
-
-    while !remaining.is_empty() {
-        let iteration_start = Instant::now();
-        if deadline.is_some_and(|d| Instant::now() >= d) {
-            for id in remaining.drain(..) {
-                push_result(
-                    &mut report,
-                    id,
-                    CheckOutcome::Unknown(UnknownReason::Budget),
-                    0,
-                    RunStats::default(),
-                    iteration_start,
-                );
-            }
-            break;
-        }
-        // The engine budget starts from the caller's base budget (it is
-        // no longer silently replaced) and additionally observes the
-        // total deadline.
-        let with_deadline = |b: Budget| match deadline {
-            Some(d) => b.with_deadline(d),
-            None => b,
-        };
-        let budget = with_deadline(opts.ic3.budget);
-        let (agg, agg_id) = aggregate_system(sys, &remaining);
-
-        // Optional BMC front-end for shallow refutations. A front-end
-        // that runs out of budget must NOT decide the verdict: unless
-        // the total deadline is actually spent, control falls through
-        // to IC3 (the bug fixed here marked every remaining property
-        // Unknown without ever running IC3).
-        let mut outcome = None;
-        if let Some(depth) = opts.bmc_depth {
-            let _bmc_span = opts.journal.span(Phase::BmcFrontend);
-            let bmc_budget = match opts.bmc_conflicts {
-                Some(n) => with_deadline(Budget::conflicts(n)),
-                None => budget,
-            };
-            let mut bmc = Bmc::with_backend(&agg, opts.backend);
-            bmc.set_journal(opts.journal.clone());
-            match bmc.run(&[agg_id], depth, bmc_budget) {
-                BmcResult::Cex { cex, .. } => {
-                    outcome = Some(CheckOutcome::Falsified(cex));
-                }
-                BmcResult::NoCexUpTo(_) => {}
-                BmcResult::Unknown(r) => {
-                    if deadline.is_some_and(|d| Instant::now() >= d) {
-                        outcome = Some(CheckOutcome::Unknown(r));
-                    }
-                }
-            }
-        }
-        let (outcome, frames, stats) = match outcome {
-            Some(o) => (o, 0, RunStats::default()),
-            None => {
-                let _joint_span = opts.journal.span(Phase::JointAttempt);
-                let ic3_opts = opts.ic3.budget(budget).backend(opts.backend);
-                let mut engine = Ic3::new(&agg, agg_id, ic3_opts);
-                engine.set_journal(opts.journal.clone());
-                let o = engine.run();
-                (o, engine.stats().frames, *engine.stats())
-            }
-        };
-
-        match outcome {
-            CheckOutcome::Proved(cert) => {
-                for id in remaining.drain(..) {
-                    push_result(
-                        &mut report,
-                        id,
-                        CheckOutcome::Proved(cert.clone()),
-                        frames,
-                        stats,
-                        iteration_start,
-                    );
-                }
-            }
-            CheckOutcome::Unknown(r) => {
-                for id in remaining.drain(..) {
-                    push_result(
-                        &mut report,
-                        id,
-                        CheckOutcome::Unknown(r),
-                        frames,
-                        stats,
-                        iteration_start,
-                    );
-                }
-            }
-            CheckOutcome::Falsified(cex) => {
-                // Replay on the original system to see which properties
-                // the final state falsifies. An unreplayable trace, or
-                // one that falsifies nothing, would loop forever here;
-                // degrade the remaining properties to Unknown instead
-                // of panicking.
-                let falsified = falsified_by_replay(sys, &remaining, &cex);
-                if falsified.is_empty() {
-                    for id in remaining.drain(..) {
-                        push_result(
-                            &mut report,
-                            id,
-                            CheckOutcome::Unknown(UnknownReason::SpuriousCex),
-                            frames,
-                            stats,
-                            iteration_start,
-                        );
-                    }
-                    break;
-                }
-                for &id in &falsified {
-                    push_result(
-                        &mut report,
-                        id,
-                        CheckOutcome::Falsified(cex.clone()),
-                        frames,
-                        stats,
-                        iteration_start,
-                    );
-                }
-                remaining.retain(|p| !falsified.contains(p));
-            }
-        }
-    }
-    report.total_time = started.elapsed();
-    report
+    crate::Session::joint(opts.clone()).run(sys)
 }

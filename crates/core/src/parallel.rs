@@ -8,8 +8,8 @@
 //! constraints — which is what makes the parallelization embarrassing.
 //!
 //! The driver honors the full [`SeparateOptions`]: with
-//! [`Scope::Local`] it is the parallel JA-verification of §11, with
-//! [`Scope::Global`] a parallel version of the separate-global
+//! [`Scope::Local`](crate::Scope::Local) it is the parallel JA-verification of §11, with
+//! [`Scope::Global`](crate::Scope::Global) a parallel version of the separate-global
 //! baseline, and the per-property backend overrides let a portfolio
 //! run different SAT backends side by side.
 //!
@@ -28,17 +28,12 @@
 //! declaration-order FIFO dispatch — as the measurable baseline for
 //! `parallel_scaling`.
 
-use crate::cluster::latch_supports;
-use crate::separate::{check_one, local_assumptions, CtxPool};
-use crate::ClauseDb;
-use crate::{MultiReport, PropertyResult, Scope, SeparateOptions};
-use japrove_ic3::{CheckOutcome, TsEncoding};
-use japrove_obs::Phase;
-use japrove_tsys::{PropertyId, TransitionSystem};
+use crate::pipeline::SchedulePolicy;
+use crate::{MultiReport, SeparateOptions, Session};
+use japrove_tsys::TransitionSystem;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
-use std::time::Instant;
+use std::sync::{Mutex, MutexGuard};
 
 /// Scheduling/warm-start strategy of [`parallel_ja_verify_with`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -145,7 +140,7 @@ impl Dispatcher {
 /// Runs separate verification with `threads` worker threads.
 ///
 /// Behaviourally equivalent to [`crate::separate_verify`] with the
-/// same options (same verdicts) — in particular [`Scope::Global`] is
+/// same options (same verdicts) — in particular [`Scope::Global`](crate::Scope::Global) is
 /// honored, not silently downgraded to local proofs; clause re-use
 /// becomes best-effort: each property sees the clauses published
 /// before its own run started, plus any it picks up from the shared
@@ -180,167 +175,27 @@ pub fn parallel_ja_verify(
     parallel_ja_verify_with(sys, threads, opts, ParallelMode::Incremental)
 }
 
-/// [`parallel_ja_verify`] with an explicit [`ParallelMode`].
+/// [`parallel_ja_verify`] with an explicit [`ParallelMode`]. A thin
+/// wrapper over the unified pipeline: [`ParallelMode::Incremental`]
+/// maps to [`SchedulePolicy::Steal`], [`ParallelMode::ColdFifo`] to
+/// [`SchedulePolicy::Fifo`].
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
 pub fn parallel_ja_verify_with(
     sys: &TransitionSystem,
     threads: usize,
     opts: &SeparateOptions,
     mode: ParallelMode,
 ) -> MultiReport {
-    assert!(threads > 0, "need at least one worker thread");
-    let started = Instant::now();
-    let deadline = opts.total.map(|d| Instant::now() + d);
-    let assumed = match opts.scope {
-        Scope::Local => local_assumptions(sys),
-        Scope::Global => Vec::new(),
+    let schedule = match mode {
+        ParallelMode::Incremental => SchedulePolicy::Steal,
+        ParallelMode::ColdFifo => SchedulePolicy::Fifo,
     };
-    let order: Vec<PropertyId> = opts
-        .order
-        .clone()
-        .unwrap_or_else(|| sys.property_ids().collect());
-    let db = ClauseDb::new();
-    // No `.max(1)` guard: with zero properties there is nothing to do,
-    // so spawning zero workers is exactly right.
-    let workers = threads.min(order.len());
-    let mut slots: Vec<Option<PropertyResult>> = vec![None; order.len()];
-
-    let finished = match mode {
-        ParallelMode::Incremental => {
-            run_incremental(sys, workers, opts, &assumed, &order, &db, deadline)
-        }
-        ParallelMode::ColdFifo => {
-            run_cold_fifo(sys, workers, opts, &assumed, &order, &db, deadline)
-        }
-    };
-    for (i, result) in finished {
-        slots[i] = Some(result);
-    }
-
-    let scope_label = match opts.scope {
-        Scope::Local => "parallel-ja",
-        Scope::Global => "parallel-separate-global",
-    };
-    let mode_label = match mode {
-        ParallelMode::Incremental => "",
-        ParallelMode::ColdFifo => " [cold-fifo]",
-    };
-    let mut report = MultiReport::new(sys.name(), format!("{scope_label} x{threads}{mode_label}"));
-    report.results = slots
-        .into_iter()
-        .map(|s| s.expect("every property processed"))
-        .collect();
-    report.total_time = started.elapsed();
-    report
-}
-
-/// The incremental driver: one shared encoding, warm per-worker solver
-/// pools, hardest-first work-stealing dispatch.
-fn run_incremental(
-    sys: &TransitionSystem,
-    workers: usize,
-    opts: &SeparateOptions,
-    assumed: &[PropertyId],
-    order: &[PropertyId],
-    db: &ClauseDb,
-    deadline: Option<Instant>,
-) -> Vec<(usize, PropertyResult)> {
-    if workers == 0 {
-        return Vec::new();
-    }
-    // Encode once; every worker's pool shares this.
-    let enc = {
-        let _enc_span = opts.journal.span(Phase::Encode);
-        Arc::new(TsEncoding::new(sys))
-    };
-    // Hardest first: larger sequential cones tend to need deeper
-    // proofs, so starting them early keeps the tail short. Ties keep
-    // declaration order for determinism.
-    let supports = latch_supports(sys);
-    let mut jobs: Vec<usize> = (0..order.len()).collect();
-    jobs.sort_by_key(|&pos| std::cmp::Reverse(supports[order[pos].index()].len()));
-    let dispatcher = Dispatcher::new(&jobs, workers);
-
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for w in 0..workers {
-            let dispatcher = &dispatcher;
-            let enc = Arc::clone(&enc);
-            let db = db.clone();
-            handles.push(scope.spawn(move || {
-                let mut pool = CtxPool::with_encoding(enc);
-                pool.set_journal(opts.journal.clone());
-                let mut mine = Vec::new();
-                while let Some(i) = dispatcher.pop(w) {
-                    let result =
-                        check_one(sys, order[i], assumed, &db, opts, deadline, &mut pool, true);
-                    publish_if_proved(&db, opts, &result);
-                    mine.push((i, result));
-                }
-                mine
-            }));
-        }
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("worker thread panicked"))
-            .collect()
-    })
-}
-
-/// The pre-incremental reference driver: FIFO ticket dispatch, fresh
-/// encoding and solvers per property.
-fn run_cold_fifo(
-    sys: &TransitionSystem,
-    workers: usize,
-    opts: &SeparateOptions,
-    assumed: &[PropertyId],
-    order: &[PropertyId],
-    db: &ClauseDb,
-    deadline: Option<Instant>,
-) -> Vec<(usize, PropertyResult)> {
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for _ in 0..workers {
-            let next = &next;
-            let db = db.clone();
-            handles.push(scope.spawn(move || {
-                let mut mine = Vec::new();
-                loop {
-                    // A pure ticket counter: each worker only consumes
-                    // the index it drew, and no other memory is
-                    // published through the counter, so `Relaxed` is
-                    // sound — `fetch_add` is still atomic, every index
-                    // is handed out exactly once.
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= order.len() {
-                        return mine;
-                    }
-                    // A cold pool per property: re-encode, fresh
-                    // solvers, no mid-run refresh — faithful to the
-                    // pre-incremental driver this mode benchmarks.
-                    let mut pool = CtxPool::new(sys);
-                    pool.set_journal(opts.journal.clone());
-                    let result = check_one(
-                        sys, order[i], assumed, &db, opts, deadline, &mut pool, false,
-                    );
-                    publish_if_proved(&db, opts, &result);
-                    mine.push((i, result));
-                }
-            }));
-        }
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("worker thread panicked"))
-            .collect()
-    })
-}
-
-fn publish_if_proved(db: &ClauseDb, opts: &SeparateOptions, result: &PropertyResult) {
-    if opts.reuse {
-        if let CheckOutcome::Proved(cert) = &result.outcome {
-            db.publish(cert.clauses.iter().cloned());
-        }
-    }
+    Session::parallel(opts.clone(), threads)
+        .schedule(schedule)
+        .run(sys)
 }
 
 #[cfg(test)]

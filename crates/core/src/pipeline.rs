@@ -1,0 +1,1406 @@
+//! The unified verification pipeline: Plan → Dispatch → Solve →
+//! Report.
+//!
+//! Every driver mode is one [`Session`] configuration over the same
+//! four stages:
+//!
+//! * **Plan** — turn the property set into ordered *units* (singletons
+//!   for the separate/parallel modes, affinity clusters for the
+//!   clustered mode, one aggregate unit for the joint mode), consult
+//!   the [`VerdictCache`] so unchanged-cone properties skip solving,
+//!   and weigh units with the [`CostModel`] (learned schedule) or the
+//!   COI-size proxy;
+//! * **Dispatch** — hand units to workers: hardest-first work-stealing
+//!   deques ([`Dispatcher`]), the cold FIFO ticket baseline, or a
+//!   plain in-order walk for the sequential drivers;
+//! * **Solve** — run each unit on a warm [`CtxPool`] with clause
+//!   re-use wired through [`ClauseDb`]/[`TwoLevelSource`];
+//! * **Report** — restore the caller-visible result order, write fresh
+//!   verdicts back to the cache, stamp totals.
+//!
+//! The public driver functions (`separate_verify`, `joint_verify`,
+//! `parallel_ja_verify`, `clustered_verify`, …) are thin wrappers that
+//! build a `Session`; their `--mode` semantics and verdict-parity
+//! guarantees are unchanged.
+//!
+//! # Dispatch order and determinism
+//!
+//! Hardest-first ordering lives in one place ([`Plan`]): units are
+//! stable-sorted by descending weight, so **ties keep the caller's
+//! order** (declaration order for properties, discovery order for
+//! clusters). At one worker thread the dispatch order is therefore
+//! exactly [`Plan::dispatch_order`], fully deterministic; at more
+//! threads the *deal* is deterministic and only the steal timing
+//! varies, which affects speed, never verdicts.
+
+use crate::affinity::affinity_clusters_with_cost;
+use crate::cluster::latch_supports;
+use crate::costmodel::CostModel;
+use crate::joint::{aggregate_system, falsified_by_replay};
+use crate::parallel::Dispatcher;
+use crate::separate::{check_one, check_one_imports, local_assumptions, CtxPool};
+use crate::verdict_cache::{CacheEntry, VerdictCache};
+use crate::{
+    ClauseDb, ClusteredOptions, JointOptions, MultiReport, PropertyResult, Scope, SeparateOptions,
+    TwoLevelSource,
+};
+use japrove_ic3::{
+    verify_certificate, Bmc, BmcResult, Certificate, CheckOutcome, ClauseSource, Counterexample,
+    Ic3, RunStats, TsEncoding, UnknownReason,
+};
+use japrove_logic::{Clause, Var};
+use japrove_obs::{Journal, Phase};
+use japrove_sat::{BackendChoice, Budget};
+use japrove_tsys::{complete_trace, replay, CoiMap, PropertyId, TransitionSystem};
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How the planner orders units and the dispatcher hands them out.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SchedulePolicy {
+    /// Hardest-first by the COI-size proxy, work-stealing dispatch,
+    /// warm solvers. The default.
+    #[default]
+    Steal,
+    /// Declaration-order FIFO ticket dispatch with cold per-property
+    /// solvers: the pre-incremental reference baseline.
+    Fifo,
+    /// Hardest-first by the [`CostModel`]'s recorded-cost prediction;
+    /// properties without a record fall back to the COI-size proxy.
+    /// Work-stealing dispatch, warm solvers.
+    Learned,
+}
+
+impl SchedulePolicy {
+    /// Short identifier, matching the CLI `--schedule` values.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulePolicy::Steal => "steal",
+            SchedulePolicy::Fifo => "fifo",
+            SchedulePolicy::Learned => "learned",
+        }
+    }
+}
+
+impl fmt::Display for SchedulePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for SchedulePolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "steal" => Ok(SchedulePolicy::Steal),
+            "fifo" => Ok(SchedulePolicy::Fifo),
+            "learned" => Ok(SchedulePolicy::Learned),
+            other => Err(format!(
+                "unknown schedule '{other}' (available: steal, fifo, learned)"
+            )),
+        }
+    }
+}
+
+/// One schedulable unit of work: a singleton property or a cluster.
+#[derive(Clone, Debug)]
+pub struct PlanUnit {
+    /// The unit's properties (one for singleton units).
+    pub members: Vec<PropertyId>,
+    /// Estimated cost, used for hardest-first ordering: the cost
+    /// model's prediction under the learned schedule, the latch-support
+    /// size proxy otherwise. Cluster weights sum their members.
+    pub weight: f64,
+}
+
+/// The Plan stage's output: cache-resolved results plus ordered units
+/// for everything that still needs solving.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    /// Units in dispatch order (hardest first where the mode sorts).
+    pub units: Vec<PlanUnit>,
+    /// Verdicts resolved from the verdict cache; these properties
+    /// appear in no unit.
+    pub cached: Vec<PropertyResult>,
+    /// The full planned property list in caller (declaration or
+    /// `order`-override) order, cached members included — the report
+    /// stage restores this order.
+    order: Vec<PropertyId>,
+}
+
+impl Plan {
+    /// The properties that will be solved, flattened in dispatch
+    /// order. At one worker thread this is exactly the solve order.
+    pub fn dispatch_order(&self) -> Vec<PropertyId> {
+        self.units.iter().flat_map(|u| u.members.clone()).collect()
+    }
+}
+
+/// Stable hardest-first ordering, shared by the parallel and clustered
+/// planners (it used to be duplicated in both drivers): descending
+/// weight, and **ties keep the incoming order** — declaration order
+/// for properties, discovery order for clusters — so dispatch is
+/// deterministic at one thread.
+fn order_units(units: &mut [PlanUnit]) {
+    units.sort_by(|a, b| b.weight.total_cmp(&a.weight));
+}
+
+enum SessionKind {
+    Separate(SeparateOptions),
+    Parallel(SeparateOptions),
+    Joint(JointOptions),
+    Clustered(ClusteredOptions),
+}
+
+/// One verification run through the unified pipeline.
+///
+/// All four `--mode` families are configurations of this type:
+///
+/// ```
+/// use japrove_aig::Aig;
+/// use japrove_core::{SeparateOptions, Session};
+/// use japrove_tsys::{TransitionSystem, Word};
+///
+/// let mut aig = Aig::new();
+/// let c = Word::latches(&mut aig, 4, 0);
+/// let n = c.increment(&mut aig);
+/// c.set_next(&mut aig, &n);
+/// let ok = c.lt_const(&mut aig, 16);
+/// let mut sys = TransitionSystem::new("cnt", aig);
+/// sys.add_property("in_range", ok);
+///
+/// let report = Session::separate(SeparateOptions::local()).run(&sys);
+/// assert_eq!(report.num_true(), 1);
+/// ```
+pub struct Session {
+    kind: SessionKind,
+    threads: usize,
+    schedule: SchedulePolicy,
+    cost_model: Option<CostModel>,
+    cache: Option<VerdictCache>,
+}
+
+impl Session {
+    /// Sequential separate verification (JA under [`Scope::Local`],
+    /// the separate-global baseline under [`Scope::Global`]).
+    /// Properties are processed in declaration (or `order`-override)
+    /// order; the schedule policy does not reorder this kind.
+    pub fn separate(opts: SeparateOptions) -> Session {
+        Session::new(SessionKind::Separate(opts), 1)
+    }
+
+    /// Parallel separate verification with `threads` workers.
+    pub fn parallel(opts: SeparateOptions, threads: usize) -> Session {
+        Session::new(SessionKind::Parallel(opts), threads)
+    }
+
+    /// Joint (Jnt-ver) aggregate verification.
+    pub fn joint(opts: JointOptions) -> Session {
+        Session::new(SessionKind::Joint(opts), 1)
+    }
+
+    /// Clustered verification with `threads` workers; affinity
+    /// clusters are the unit of dispatch.
+    pub fn clustered(opts: ClusteredOptions, threads: usize) -> Session {
+        Session::new(SessionKind::Clustered(opts), threads)
+    }
+
+    fn new(kind: SessionKind, threads: usize) -> Session {
+        Session {
+            kind,
+            threads,
+            schedule: SchedulePolicy::default(),
+            cost_model: None,
+            cache: None,
+        }
+    }
+
+    /// Sets the schedule policy (parallel and clustered kinds).
+    pub fn schedule(mut self, policy: SchedulePolicy) -> Session {
+        self.schedule = policy;
+        self
+    }
+
+    /// Attaches a cost model for the learned schedule and the affinity
+    /// graph's cost signal.
+    pub fn cost_model(mut self, model: CostModel) -> Session {
+        self.cost_model = Some(model);
+        self
+    }
+
+    /// Attaches a verdict cache: consulted in Plan, written in Report.
+    /// Only global verdicts participate (see the soundness note on
+    /// [`VerdictCache`]).
+    pub fn verdict_cache(mut self, cache: VerdictCache) -> Session {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Takes the verdict cache back (with this run's verdicts merged
+    /// in) so the caller can persist it.
+    pub fn take_verdict_cache(&mut self) -> Option<VerdictCache> {
+        self.cache.take()
+    }
+
+    fn journal(&self) -> &Journal {
+        match &self.kind {
+            SessionKind::Separate(o) | SessionKind::Parallel(o) => &o.journal,
+            SessionKind::Joint(o) => &o.journal,
+            SessionKind::Clustered(o) => &o.separate.journal,
+        }
+    }
+
+    fn backend(&self) -> BackendChoice {
+        match &self.kind {
+            SessionKind::Separate(o) | SessionKind::Parallel(o) => o.backend,
+            SessionKind::Joint(o) => o.backend,
+            SessionKind::Clustered(o) => o.separate.backend,
+        }
+    }
+
+    /// Whether this session's per-property verdicts are global — the
+    /// precondition for consulting or filling the verdict cache.
+    fn verdicts_are_global(&self) -> bool {
+        match &self.kind {
+            SessionKind::Separate(o) | SessionKind::Parallel(o) => o.scope == Scope::Global,
+            SessionKind::Joint(_) => true,
+            SessionKind::Clustered(o) => o.separate.scope == Scope::Global,
+        }
+    }
+
+    /// The full planned property list in caller order.
+    fn planned_order(&self, sys: &TransitionSystem) -> Vec<PropertyId> {
+        match &self.kind {
+            SessionKind::Separate(o) | SessionKind::Parallel(o) => o
+                .order
+                .clone()
+                .unwrap_or_else(|| sys.property_ids().collect()),
+            SessionKind::Joint(o) => o
+                .subset
+                .clone()
+                .unwrap_or_else(|| sys.property_ids().collect()),
+            SessionKind::Clustered(_) => sys.property_ids().collect(),
+        }
+    }
+
+    /// The weight of one property: the learned prediction when the
+    /// schedule and model provide one, the COI-size proxy otherwise.
+    /// Both are normalized against the design's own maxima, so warm and
+    /// cold properties stay comparable within one plan.
+    fn property_weight(
+        &self,
+        sys: &TransitionSystem,
+        p: PropertyId,
+        supports: &[Vec<usize>],
+        max_support: usize,
+    ) -> f64 {
+        let proxy = if max_support == 0 {
+            0.0
+        } else {
+            supports[p.index()].len() as f64 / max_support as f64
+        };
+        if self.schedule == SchedulePolicy::Learned {
+            if let Some(model) = &self.cost_model {
+                return model.predicted(&sys.property(p).name).unwrap_or(proxy);
+            }
+        }
+        proxy
+    }
+
+    /// The Plan stage: verdict-cache consultation, unit formation
+    /// (singletons, clusters or one aggregate) and hardest-first
+    /// ordering. Public so callers can inspect the dispatch order
+    /// without running anything.
+    pub fn plan(&self, sys: &TransitionSystem) -> Plan {
+        let _span = self.journal().span(Phase::Plan);
+        let order = self.planned_order(sys);
+
+        let mut cached = Vec::new();
+        let mut hit = vec![false; sys.num_properties()];
+        if let Some(cache) = &self.cache {
+            if self.verdicts_are_global() {
+                for &p in &order {
+                    if let Some(result) = cache_lookup(sys, p, cache, self.backend()) {
+                        hit[p.index()] = true;
+                        cached.push(result);
+                    }
+                }
+            }
+        }
+
+        let supports = latch_supports(sys);
+        let max_support = supports.iter().map(Vec::len).max().unwrap_or(0);
+        let weigh = |members: &[PropertyId]| -> f64 {
+            members
+                .iter()
+                .map(|&p| self.property_weight(sys, p, &supports, max_support))
+                .sum()
+        };
+
+        let mut units: Vec<PlanUnit> = match &self.kind {
+            SessionKind::Separate(_) | SessionKind::Parallel(_) => order
+                .iter()
+                .filter(|p| !hit[p.index()])
+                .map(|&p| PlanUnit {
+                    members: vec![p],
+                    weight: weigh(&[p]),
+                })
+                .collect(),
+            SessionKind::Joint(_) => {
+                let members: Vec<PropertyId> =
+                    order.iter().copied().filter(|p| !hit[p.index()]).collect();
+                if members.is_empty() {
+                    Vec::new()
+                } else {
+                    let weight = weigh(&members);
+                    vec![PlanUnit { members, weight }]
+                }
+            }
+            SessionKind::Clustered(o) => {
+                let clusters = {
+                    let _probe_span = self.journal().span(Phase::AffinityProbe);
+                    affinity_clusters_with_cost(
+                        sys,
+                        o.metric,
+                        o.max_group_size,
+                        o.min_affinity,
+                        o.separate.backend,
+                        self.cost_model.as_ref(),
+                    )
+                };
+                clusters
+                    .into_iter()
+                    .map(|mut c| {
+                        c.retain(|p| !hit[p.index()]);
+                        c
+                    })
+                    .filter(|c| !c.is_empty())
+                    .map(|c| PlanUnit {
+                        weight: weigh(&c),
+                        members: c,
+                    })
+                    .collect()
+            }
+        };
+
+        // Hardest-first ordering for the dispatching kinds. The
+        // sequential separate kind keeps the caller's order (the
+        // paper's "properties are verified in the order they are
+        // given"), the FIFO baseline keeps declaration order by
+        // definition, and the joint kind has a single unit.
+        let sorts = match &self.kind {
+            SessionKind::Parallel(_) => self.schedule != SchedulePolicy::Fifo,
+            SessionKind::Clustered(_) => true,
+            SessionKind::Separate(_) | SessionKind::Joint(_) => false,
+        };
+        if sorts {
+            order_units(&mut units);
+        }
+        Plan {
+            units,
+            cached,
+            order,
+        }
+    }
+
+    /// Runs the full pipeline: Plan → Dispatch → Solve → Report.
+    pub fn run(&mut self, sys: &TransitionSystem) -> MultiReport {
+        let started = Instant::now();
+        let plan = self.plan(sys);
+        let mut report = match &self.kind {
+            SessionKind::Separate(opts) => run_separate(sys, opts, &plan),
+            SessionKind::Parallel(opts) => {
+                run_parallel(sys, self.threads, opts, self.schedule, &plan)
+            }
+            SessionKind::Joint(opts) => run_joint(sys, opts, &plan),
+            SessionKind::Clustered(opts) => run_clustered(sys, self.threads, opts, &plan),
+        };
+        if self.verdicts_are_global() {
+            if let Some(cache) = &mut self.cache {
+                for r in &report.results {
+                    cache_store(sys, r, cache);
+                }
+            }
+        }
+        report.total_time = started.elapsed();
+        report
+    }
+}
+
+// ---------------------------------------------------------------------
+// Solve stage: the four drivers' loops, now in one place.
+// ---------------------------------------------------------------------
+
+/// A deadline-expired placeholder result.
+fn budget_expired(
+    sys: &TransitionSystem,
+    id: PropertyId,
+    opts: &SeparateOptions,
+) -> PropertyResult {
+    PropertyResult {
+        id,
+        name: sys.property(id).name.clone(),
+        outcome: CheckOutcome::Unknown(UnknownReason::Budget),
+        scope: opts.scope,
+        time: Duration::ZERO,
+        frames: 0,
+        retried: false,
+        backend: opts.backend_of(id),
+        stats: RunStats::default(),
+        cached: false,
+    }
+}
+
+/// The sequential separate driver: caller-order walk, warm pool,
+/// clause re-use through the shared store.
+fn run_separate(sys: &TransitionSystem, opts: &SeparateOptions, plan: &Plan) -> MultiReport {
+    let deadline = opts.total.map(|d| Instant::now() + d);
+    let assumed = match opts.scope {
+        Scope::Local => local_assumptions(sys),
+        Scope::Global => Vec::new(),
+    };
+    let db = ClauseDb::new();
+    let method = match (opts.scope, opts.reuse) {
+        (Scope::Local, true) => "ja-verification",
+        (Scope::Local, false) => "ja-verification (no reuse)",
+        (Scope::Global, true) => "separate-global",
+        (Scope::Global, false) => "separate-global (no reuse)",
+    };
+    let mut report = MultiReport::new(sys.name(), method);
+    let cached: HashMap<PropertyId, &PropertyResult> =
+        plan.cached.iter().map(|r| (r.id, r)).collect();
+    let mut pool = {
+        let _enc_span = opts.journal.span(Phase::Encode);
+        CtxPool::new(sys)
+    };
+    pool.set_journal(opts.journal.clone());
+    for &id in &plan.order {
+        if let Some(&hit) = cached.get(&id) {
+            report.results.push(hit.clone());
+            continue;
+        }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            report.results.push(budget_expired(sys, id, opts));
+            continue;
+        }
+        let result = check_one(sys, id, &assumed, &db, opts, deadline, &mut pool, true);
+        publish_if_proved(&db, opts, &result);
+        report.results.push(result);
+    }
+    report
+}
+
+fn publish_if_proved(db: &ClauseDb, opts: &SeparateOptions, result: &PropertyResult) {
+    if opts.reuse {
+        if let CheckOutcome::Proved(cert) = &result.outcome {
+            db.publish(cert.clauses.iter().cloned());
+        }
+    }
+}
+
+/// The parallel separate driver. Results are restored to caller-order
+/// slots, so verdict comparisons with the sequential driver line up.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+fn run_parallel(
+    sys: &TransitionSystem,
+    threads: usize,
+    opts: &SeparateOptions,
+    schedule: SchedulePolicy,
+    plan: &Plan,
+) -> MultiReport {
+    assert!(threads > 0, "need at least one worker thread");
+    let deadline = opts.total.map(|d| Instant::now() + d);
+    let assumed = match opts.scope {
+        Scope::Local => local_assumptions(sys),
+        Scope::Global => Vec::new(),
+    };
+    let db = ClauseDb::new();
+    let order = &plan.order;
+    let pos_of: HashMap<PropertyId, usize> =
+        order.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+    let mut slots: Vec<Option<PropertyResult>> = vec![None; order.len()];
+    for r in &plan.cached {
+        slots[pos_of[&r.id]] = Some(r.clone());
+    }
+    // Jobs are caller-order positions, already unit-ordered by Plan.
+    let jobs: Vec<usize> = plan
+        .units
+        .iter()
+        .flat_map(|u| u.members.iter().map(|p| pos_of[p]))
+        .collect();
+    // No `.max(1)` guard: with zero jobs there is nothing to do, so
+    // spawning zero workers is exactly right.
+    let workers = threads.min(jobs.len());
+
+    let finished = match schedule {
+        SchedulePolicy::Fifo => {
+            run_cold_fifo(sys, workers, opts, &assumed, order, &jobs, &db, deadline)
+        }
+        SchedulePolicy::Steal | SchedulePolicy::Learned => {
+            run_incremental(sys, workers, opts, &assumed, order, &jobs, &db, deadline)
+        }
+    };
+    for (i, result) in finished {
+        slots[i] = Some(result);
+    }
+
+    let scope_label = match opts.scope {
+        Scope::Local => "parallel-ja",
+        Scope::Global => "parallel-separate-global",
+    };
+    let mode_label = match schedule {
+        SchedulePolicy::Steal => "",
+        SchedulePolicy::Fifo => " [cold-fifo]",
+        SchedulePolicy::Learned => " [learned]",
+    };
+    let mut report = MultiReport::new(sys.name(), format!("{scope_label} x{threads}{mode_label}"));
+    report.results = slots
+        .into_iter()
+        .map(|s| s.expect("every property processed"))
+        .collect();
+    report
+}
+
+/// Warm work-stealing execution: one shared encoding, warm per-worker
+/// solver pools, jobs dealt in plan order.
+#[allow(clippy::too_many_arguments)]
+fn run_incremental(
+    sys: &TransitionSystem,
+    workers: usize,
+    opts: &SeparateOptions,
+    assumed: &[PropertyId],
+    order: &[PropertyId],
+    jobs: &[usize],
+    db: &ClauseDb,
+    deadline: Option<Instant>,
+) -> Vec<(usize, PropertyResult)> {
+    if workers == 0 {
+        return Vec::new();
+    }
+    // Encode once; every worker's pool shares this.
+    let enc = {
+        let _enc_span = opts.journal.span(Phase::Encode);
+        Arc::new(TsEncoding::new(sys))
+    };
+    let dispatcher = Dispatcher::new(jobs, workers);
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in 0..workers {
+            let dispatcher = &dispatcher;
+            let enc = Arc::clone(&enc);
+            let db = db.clone();
+            handles.push(scope.spawn(move || {
+                let mut pool = CtxPool::with_encoding(enc);
+                pool.set_journal(opts.journal.clone());
+                let mut mine = Vec::new();
+                while let Some(i) = dispatcher.pop(w) {
+                    let result =
+                        check_one(sys, order[i], assumed, &db, opts, deadline, &mut pool, true);
+                    publish_if_proved(&db, opts, &result);
+                    mine.push((i, result));
+                }
+                mine
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+}
+
+/// The pre-incremental reference baseline: FIFO ticket dispatch, fresh
+/// encoding and solvers per property, no mid-run clause refresh.
+#[allow(clippy::too_many_arguments)]
+fn run_cold_fifo(
+    sys: &TransitionSystem,
+    workers: usize,
+    opts: &SeparateOptions,
+    assumed: &[PropertyId],
+    order: &[PropertyId],
+    jobs: &[usize],
+    db: &ClauseDb,
+    deadline: Option<Instant>,
+) -> Vec<(usize, PropertyResult)> {
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..workers {
+            let next = &next;
+            let db = db.clone();
+            handles.push(scope.spawn(move || {
+                let mut mine = Vec::new();
+                loop {
+                    // A pure ticket counter: each worker only consumes
+                    // the index it drew, and no other memory is
+                    // published through the counter, so `Relaxed` is
+                    // sound — `fetch_add` is still atomic, every index
+                    // is handed out exactly once.
+                    let t = next.fetch_add(1, Ordering::Relaxed);
+                    if t >= jobs.len() {
+                        return mine;
+                    }
+                    let i = jobs[t];
+                    // A cold pool per property: re-encode, fresh
+                    // solvers, no mid-run refresh — faithful to the
+                    // pre-incremental driver this mode benchmarks.
+                    let mut pool = CtxPool::new(sys);
+                    pool.set_journal(opts.journal.clone());
+                    let result = check_one(
+                        sys, order[i], assumed, &db, opts, deadline, &mut pool, false,
+                    );
+                    publish_if_proved(&db, opts, &result);
+                    mine.push((i, result));
+                }
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+}
+
+/// The Jnt-ver loop (§9): verify the aggregate property, refute the
+/// properties its counterexample falsifies, re-iterate.
+fn run_joint(sys: &TransitionSystem, opts: &JointOptions, plan: &Plan) -> MultiReport {
+    let deadline = opts.total.map(|d| Instant::now() + d);
+    let mut report = MultiReport::new(
+        sys.name(),
+        if opts.bmc_depth.is_some() {
+            "joint (bmc+ic3)"
+        } else {
+            "joint"
+        },
+    );
+    report.results.extend(plan.cached.iter().cloned());
+    let mut remaining: Vec<PropertyId> = plan
+        .units
+        .first()
+        .map(|u| u.members.clone())
+        .unwrap_or_default();
+
+    let push_result = |report: &mut MultiReport,
+                       id: PropertyId,
+                       outcome: CheckOutcome,
+                       frames: usize,
+                       stats: RunStats,
+                       t0: Instant| {
+        report.results.push(PropertyResult {
+            id,
+            name: sys.property(id).name.clone(),
+            outcome,
+            scope: Scope::Global,
+            time: t0.elapsed(),
+            frames,
+            retried: false,
+            backend: opts.backend,
+            stats,
+            cached: false,
+        });
+    };
+
+    while !remaining.is_empty() {
+        let iteration_start = Instant::now();
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            for id in remaining.drain(..) {
+                push_result(
+                    &mut report,
+                    id,
+                    CheckOutcome::Unknown(UnknownReason::Budget),
+                    0,
+                    RunStats::default(),
+                    iteration_start,
+                );
+            }
+            break;
+        }
+        // The engine budget starts from the caller's base budget (it is
+        // no longer silently replaced) and additionally observes the
+        // total deadline.
+        let with_deadline = |b: Budget| match deadline {
+            Some(d) => b.with_deadline(d),
+            None => b,
+        };
+        let budget = with_deadline(opts.ic3.budget);
+        let (agg, agg_id) = aggregate_system(sys, &remaining);
+
+        // Optional BMC front-end for shallow refutations. A front-end
+        // that runs out of budget must NOT decide the verdict: unless
+        // the total deadline is actually spent, control falls through
+        // to IC3.
+        let mut outcome = None;
+        if let Some(depth) = opts.bmc_depth {
+            let _bmc_span = opts.journal.span(Phase::BmcFrontend);
+            let bmc_budget = match opts.bmc_conflicts {
+                Some(n) => with_deadline(Budget::conflicts(n)),
+                None => budget,
+            };
+            let mut bmc = Bmc::with_backend(&agg, opts.backend);
+            bmc.set_journal(opts.journal.clone());
+            match bmc.run(&[agg_id], depth, bmc_budget) {
+                BmcResult::Cex { cex, .. } => {
+                    outcome = Some(CheckOutcome::Falsified(cex));
+                }
+                BmcResult::NoCexUpTo(_) => {}
+                BmcResult::Unknown(r) => {
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        outcome = Some(CheckOutcome::Unknown(r));
+                    }
+                }
+            }
+        }
+        let (outcome, frames, stats) = match outcome {
+            Some(o) => (o, 0, RunStats::default()),
+            None => {
+                let _joint_span = opts.journal.span(Phase::JointAttempt);
+                let ic3_opts = opts.ic3.budget(budget).backend(opts.backend);
+                let mut engine = Ic3::new(&agg, agg_id, ic3_opts);
+                engine.set_journal(opts.journal.clone());
+                let o = engine.run();
+                (o, engine.stats().frames, *engine.stats())
+            }
+        };
+
+        match outcome {
+            CheckOutcome::Proved(cert) => {
+                for id in remaining.drain(..) {
+                    push_result(
+                        &mut report,
+                        id,
+                        CheckOutcome::Proved(cert.clone()),
+                        frames,
+                        stats,
+                        iteration_start,
+                    );
+                }
+            }
+            CheckOutcome::Unknown(r) => {
+                for id in remaining.drain(..) {
+                    push_result(
+                        &mut report,
+                        id,
+                        CheckOutcome::Unknown(r),
+                        frames,
+                        stats,
+                        iteration_start,
+                    );
+                }
+            }
+            CheckOutcome::Falsified(cex) => {
+                // Replay on the original system to see which properties
+                // the final state falsifies. An unreplayable trace, or
+                // one that falsifies nothing, would loop forever here;
+                // degrade the remaining properties to Unknown instead
+                // of panicking.
+                let falsified = falsified_by_replay(sys, &remaining, &cex);
+                if falsified.is_empty() {
+                    for id in remaining.drain(..) {
+                        push_result(
+                            &mut report,
+                            id,
+                            CheckOutcome::Unknown(UnknownReason::SpuriousCex),
+                            frames,
+                            stats,
+                            iteration_start,
+                        );
+                    }
+                    break;
+                }
+                for &id in &falsified {
+                    push_result(
+                        &mut report,
+                        id,
+                        CheckOutcome::Falsified(cex.clone()),
+                        frames,
+                        stats,
+                        iteration_start,
+                    );
+                }
+                remaining.retain(|p| !falsified.contains(p));
+            }
+        }
+    }
+    report
+}
+
+/// The clustered driver: affinity clusters (from Plan) are the unit of
+/// the hardest-first work-stealing dispatch; results are restored to
+/// declaration order.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+fn run_clustered(
+    sys: &TransitionSystem,
+    threads: usize,
+    opts: &ClusteredOptions,
+    plan: &Plan,
+) -> MultiReport {
+    assert!(threads > 0, "need at least one worker thread");
+    let journal = &opts.separate.journal;
+    let deadline = opts.separate.total.map(|d| Instant::now() + d);
+    let assumed = match opts.separate.scope {
+        Scope::Local => local_assumptions(sys),
+        Scope::Global => Vec::new(),
+    };
+    let units = &plan.units;
+
+    let scope_label = match opts.separate.scope {
+        Scope::Local => "clustered-ja",
+        Scope::Global => "clustered-global",
+    };
+    let mut report = MultiReport::new(
+        sys.name(),
+        format!(
+            "{scope_label}[{}] x{threads} ({} clusters)",
+            opts.metric,
+            units.len()
+        ),
+    );
+
+    let workers = threads.min(units.len());
+    let mut results: Vec<PropertyResult> = plan.cached.clone();
+    if workers > 0 {
+        let enc = {
+            let _enc_span = journal.span(Phase::Encode);
+            Arc::new(TsEncoding::new(sys))
+        };
+        let global_db = ClauseDb::new();
+        // Units are already plan-ordered; deal them as-is.
+        let jobs: Vec<usize> = (0..units.len()).collect();
+        let dispatcher = Dispatcher::new(&jobs, workers);
+        let solved: Vec<PropertyResult> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for w in 0..workers {
+                let dispatcher = &dispatcher;
+                let enc = Arc::clone(&enc);
+                let global_db = global_db.clone();
+                let units = &units;
+                let assumed = &assumed;
+                handles.push(scope.spawn(move || {
+                    let mut pool = CtxPool::with_encoding(enc);
+                    pool.set_journal(opts.separate.journal.clone());
+                    let mut mine = Vec::new();
+                    while let Some(c) = dispatcher.pop(w) {
+                        mine.extend(verify_cluster(
+                            sys,
+                            c,
+                            &units[c].members,
+                            opts,
+                            assumed,
+                            &global_db,
+                            deadline,
+                            &mut pool,
+                        ));
+                    }
+                    mine
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+        results.extend(solved);
+    }
+    // Clusters partition the property set; restore declaration order
+    // for comparability with the other drivers.
+    results.sort_by_key(|r| r.id);
+    report.results = results;
+    report
+}
+
+/// Maps a certificate proved on a cone reduction back onto the
+/// original system: certificate clauses range over latch variables,
+/// which [`japrove_tsys::CoiMap::latches`] translates index-for-index.
+/// Sound because the kept latches evolve identically in both systems,
+/// so a clause holding in every reachable reduced state holds in every
+/// reachable original state.
+fn lift_certificate(cert: &Certificate, map: &CoiMap) -> Certificate {
+    Certificate {
+        clauses: cert
+            .clauses
+            .iter()
+            .map(|c| {
+                Clause::from_lits(c.lits().iter().map(|l| {
+                    Var::new(map.latches[l.var().index() as usize] as u32).lit(l.is_negated())
+                }))
+            })
+            .collect(),
+    }
+}
+
+/// Materializes a reduced-system counterexample on the original
+/// design: lift the input vectors, complete the trace by simulation,
+/// and confirm by replay that it still falsifies `id`. `None` (never
+/// expected — the kept cone behaves identically) sends the property to
+/// the per-property fallback instead of trusting a bad trace.
+fn lift_counterexample(
+    sys: &TransitionSystem,
+    map: &CoiMap,
+    id: PropertyId,
+    cex: &Counterexample,
+) -> Option<Counterexample> {
+    let inputs = map.lift_inputs(cex.trace.inputs());
+    let trace = complete_trace(sys, inputs);
+    let violates = replay(sys, &trace).is_ok_and(|r| r.violates_finally(id));
+    violates.then_some(Counterexample {
+        depth: cex.depth,
+        trace,
+    })
+}
+
+/// Verifies one cluster: optional joint attempt, then warm
+/// per-property checks with two-level clause re-use for whatever the
+/// attempt left open.
+#[allow(clippy::too_many_arguments)]
+fn verify_cluster(
+    sys: &TransitionSystem,
+    index: usize,
+    cluster: &[PropertyId],
+    opts: &ClusteredOptions,
+    assumed: &[PropertyId],
+    global_db: &ClauseDb,
+    deadline: Option<Instant>,
+    pool: &mut CtxPool,
+) -> Vec<PropertyResult> {
+    let _cluster_span = opts.separate.journal.span_labeled(
+        Phase::Cluster,
+        format!("cluster-{index} ({} props)", cluster.len()),
+    );
+    let reuse = opts.separate.reuse;
+    let cluster_db = ClauseDb::new();
+    let mut results = Vec::new();
+    let mut remaining: Vec<PropertyId> = cluster.to_vec();
+
+    // The joint attempt: one aggregate run can prove (or refute into)
+    // the whole cluster — and it runs on the cluster's
+    // *cone-of-influence reduction*, not the full design. Affinity
+    // clusters are cone-coherent, so the reduction is deep and the
+    // aggregate encode/solve cost shrinks with it; this is where the
+    // mode beats the grouped baseline (which re-encodes the whole
+    // design per group). Only under global scope — an aggregate
+    // counterexample refutes properties *globally*, which would
+    // contradict local verdicts for shadowed properties.
+    if opts.cluster_joint && opts.separate.scope == Scope::Global && cluster.len() >= 2 {
+        let (sub, map) = sys.restrict_to_cone(&remaining);
+        let mut jopts = opts.joint.clone();
+        if let Some(d) = deadline {
+            let left = d.saturating_duration_since(Instant::now());
+            jopts.total = Some(jopts.total.map_or(left, |t| t.min(left)));
+        }
+        let attempt = crate::joint_verify(&sub, &jopts);
+        let mut solved = Vec::new();
+        for r in attempt.results {
+            let id = map.properties[r.id.index()];
+            // A cluster-level Unknown (budget, spurious aggregate
+            // counterexample, unliftable trace): leave the property to
+            // the fallback so grouping can never lose a verdict.
+            let outcome = match r.outcome {
+                CheckOutcome::Proved(cert) => {
+                    let lifted = lift_certificate(&cert, &map);
+                    if reuse {
+                        cluster_db.publish(lifted.clauses.iter().cloned());
+                    }
+                    Some(CheckOutcome::Proved(lifted))
+                }
+                CheckOutcome::Falsified(cex) => {
+                    lift_counterexample(sys, &map, id, &cex).map(CheckOutcome::Falsified)
+                }
+                CheckOutcome::Unknown(_) => None,
+            };
+            if let Some(outcome) = outcome {
+                solved.push(id);
+                results.push(PropertyResult {
+                    id,
+                    name: sys.property(id).name.clone(),
+                    outcome,
+                    scope: Scope::Global,
+                    time: r.time,
+                    frames: r.frames,
+                    retried: false,
+                    backend: r.backend,
+                    stats: r.stats,
+                    cached: false,
+                });
+            }
+        }
+        remaining.retain(|p| !solved.contains(p));
+    }
+
+    // Warm per-property path: eager cluster import, lazy global
+    // refresh through the two-level source.
+    for &id in &remaining {
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            results.push(budget_expired(sys, id, &opts.separate));
+            continue;
+        }
+        let source = TwoLevelSource::new(&cluster_db, global_db);
+        let (imported, src): (_, Option<(&dyn ClauseSource, u64)>) = if reuse {
+            (
+                cluster_db.snapshot(),
+                Some((&source, source.primed_cursor())),
+            )
+        } else {
+            (Vec::new(), None)
+        };
+        let result = check_one_imports(
+            sys,
+            id,
+            assumed,
+            imported,
+            src,
+            &opts.separate,
+            deadline,
+            pool,
+        );
+        if reuse {
+            if let CheckOutcome::Proved(cert) = &result.outcome {
+                cluster_db.publish(cert.clauses.iter().cloned());
+            }
+        }
+        results.push(result);
+    }
+
+    // Share what the cluster learned with everyone else.
+    if reuse {
+        global_db.publish(cluster_db.snapshot());
+    }
+    results
+}
+
+// ---------------------------------------------------------------------
+// Verdict-cache plumbing: lookups in Plan, writes in Report.
+// ---------------------------------------------------------------------
+
+/// The property's cone reduction, its cache key and its reduced id.
+fn property_cone(
+    sys: &TransitionSystem,
+    p: PropertyId,
+) -> Option<(TransitionSystem, CoiMap, String, PropertyId)> {
+    let (sub, map) = sys.restrict_to_cone(&[p]);
+    let key = format!("{:016x}", sub.structural_hash());
+    let rid = map
+        .properties
+        .iter()
+        .position(|&q| q == p)
+        .map(PropertyId::new)?;
+    Some((sub, map, key, rid))
+}
+
+/// Consults the cache for `p`. A hit is *re-certified*, never trusted:
+/// stored certificates are verified on the reduced system and lifted;
+/// stored counterexamples are lifted, completed and replayed. Any
+/// failure is a miss.
+fn cache_lookup(
+    sys: &TransitionSystem,
+    p: PropertyId,
+    cache: &VerdictCache,
+    backend: BackendChoice,
+) -> Option<PropertyResult> {
+    let started = Instant::now();
+    let name = sys.property(p).name.clone();
+    let (sub, map, key, rid) = property_cone(sys, p)?;
+    let entry = cache.get(&key, &name)?;
+    let outcome = match entry.verdict.as_str() {
+        "holds" => {
+            let latches = sub.aig().latches().len();
+            let mut clauses = Vec::with_capacity(entry.clauses.len());
+            for c in &entry.clauses {
+                let lits: Option<Vec<_>> = c
+                    .iter()
+                    .map(|&l| {
+                        let idx = l.unsigned_abs() as usize - 1;
+                        (idx < latches).then(|| Var::new(idx as u32).lit(l < 0))
+                    })
+                    .collect();
+                clauses.push(Clause::from_lits(lits?));
+            }
+            let cert = Certificate { clauses };
+            verify_certificate(&sub, rid, &[], &cert).ok()?;
+            CheckOutcome::Proved(lift_certificate(&cert, &map))
+        }
+        "fails" => {
+            if entry
+                .inputs
+                .iter()
+                .any(|step| step.len() != map.inputs.len())
+            {
+                return None;
+            }
+            let trace = complete_trace(sys, map.lift_inputs(&entry.inputs));
+            if !replay(sys, &trace).is_ok_and(|r| r.violates_finally(p)) {
+                return None;
+            }
+            CheckOutcome::Falsified(Counterexample {
+                depth: entry.depth as usize,
+                trace,
+            })
+        }
+        _ => return None,
+    };
+    Some(PropertyResult {
+        id: p,
+        name,
+        outcome,
+        scope: Scope::Global,
+        time: started.elapsed(),
+        frames: 0,
+        retried: false,
+        backend,
+        stats: RunStats::default(),
+        cached: true,
+    })
+}
+
+/// Writes one fresh global verdict into the cache, with its evidence
+/// down-mapped onto the property's cone and re-checked there first. A
+/// verdict whose evidence does not fit the cone (e.g. an aggregate
+/// certificate mentioning latches outside it) is simply not cached.
+fn cache_store(sys: &TransitionSystem, result: &PropertyResult, cache: &mut VerdictCache) {
+    if result.cached || result.scope != Scope::Global {
+        return;
+    }
+    let Some((sub, map, key, rid)) = property_cone(sys, result.id) else {
+        return;
+    };
+    let reduced_of: HashMap<usize, usize> = map
+        .latches
+        .iter()
+        .enumerate()
+        .map(|(r, &o)| (o, r))
+        .collect();
+    let entry = match &result.outcome {
+        CheckOutcome::Proved(cert) => {
+            let mut down = Vec::with_capacity(cert.clauses.len());
+            let mut reduced_clauses = Vec::with_capacity(cert.clauses.len());
+            for c in &cert.clauses {
+                let Some(lits): Option<Vec<(usize, bool)>> = c
+                    .lits()
+                    .iter()
+                    .map(|l| {
+                        reduced_of
+                            .get(&(l.var().index() as usize))
+                            .map(|&r| (r, l.is_negated()))
+                    })
+                    .collect()
+                else {
+                    // The certificate reasons about latches outside the
+                    // cone: not expressible in cone coordinates, so not
+                    // cacheable.
+                    return;
+                };
+                down.push(
+                    lits.iter()
+                        .map(|&(r, neg)| {
+                            let v = (r + 1) as i64;
+                            if neg {
+                                -v
+                            } else {
+                                v
+                            }
+                        })
+                        .collect::<Vec<i64>>(),
+                );
+                reduced_clauses.push(Clause::from_lits(
+                    lits.iter().map(|&(r, neg)| Var::new(r as u32).lit(neg)),
+                ));
+            }
+            let reduced_cert = Certificate {
+                clauses: reduced_clauses,
+            };
+            if verify_certificate(&sub, rid, &[], &reduced_cert).is_err() {
+                return;
+            }
+            CacheEntry {
+                cone: key,
+                property: result.name.clone(),
+                verdict: "holds".into(),
+                clauses: down,
+                inputs: Vec::new(),
+                depth: 0,
+            }
+        }
+        CheckOutcome::Falsified(cex) => {
+            let full = cex.trace.inputs();
+            let reduced: Vec<Vec<bool>> = full
+                .iter()
+                .map(|step| map.inputs.iter().map(|&oi| step[oi]).collect())
+                .collect();
+            // The projected trace must still falsify the property on
+            // the reduced system; otherwise the evidence leans on
+            // out-of-cone inputs (it cannot) or is stale.
+            let trace = complete_trace(&sub, reduced.clone());
+            if !replay(&sub, &trace).is_ok_and(|r| r.violates_finally(rid)) {
+                return;
+            }
+            CacheEntry {
+                cone: key,
+                property: result.name.clone(),
+                verdict: "fails".into(),
+                clauses: Vec::new(),
+                inputs: reduced,
+                depth: cex.depth as u64,
+            }
+        }
+        CheckOutcome::Unknown(_) => return,
+    };
+    cache.upsert(entry);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use japrove_aig::Aig;
+    use japrove_tsys::Word;
+
+    /// Two independent counters with one true and one false property
+    /// each; cones differ, so the cache can tell them apart.
+    fn two_counter_sys() -> TransitionSystem {
+        let mut aig = Aig::new();
+        let mut props = Vec::new();
+        for i in 0..2usize {
+            let w = Word::latches(&mut aig, 3, 0);
+            let n = w.increment(&mut aig);
+            w.set_next(&mut aig, &n);
+            props.push((format!("c{i}_ok"), w.lt_const(&mut aig, 8)));
+            props.push((format!("c{i}_tight"), w.lt_const(&mut aig, 3)));
+        }
+        let mut sys = TransitionSystem::new("two", aig);
+        for (name, good) in props {
+            sys.add_property(name, good);
+        }
+        sys
+    }
+
+    #[test]
+    fn schedule_names_round_trip() {
+        for p in [
+            SchedulePolicy::Steal,
+            SchedulePolicy::Fifo,
+            SchedulePolicy::Learned,
+        ] {
+            assert_eq!(p.name().parse::<SchedulePolicy>(), Ok(p));
+        }
+        let err = "lifo".parse::<SchedulePolicy>().unwrap_err();
+        assert!(
+            err.contains("steal") && err.contains("fifo") && err.contains("learned"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn order_units_is_stable_on_ties() {
+        let unit = |i: usize, w: f64| PlanUnit {
+            members: vec![PropertyId::new(i)],
+            weight: w,
+        };
+        let mut units = vec![unit(0, 1.0), unit(1, 2.0), unit(2, 1.0), unit(3, 2.0)];
+        order_units(&mut units);
+        let order: Vec<usize> = units.iter().map(|u| u.members[0].index()).collect();
+        // Descending weight, ties keep the incoming order.
+        assert_eq!(order, vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn all_four_kinds_agree_on_global_verdicts() {
+        let sys = two_counter_sys();
+        let reference = Session::separate(SeparateOptions::global()).run(&sys);
+        let reports = [
+            Session::parallel(SeparateOptions::global(), 3).run(&sys),
+            Session::joint(JointOptions::new()).run(&sys),
+            Session::clustered(ClusteredOptions::new(), 2).run(&sys),
+        ];
+        for report in &reports {
+            assert_eq!(report.num_true(), reference.num_true(), "{}", report.method);
+            assert_eq!(
+                report.num_false(),
+                reference.num_false(),
+                "{}",
+                report.method
+            );
+            assert_eq!(report.num_unsolved(), 0, "{}", report.method);
+        }
+    }
+
+    #[test]
+    fn verdict_cache_round_trips_through_a_session() {
+        let sys = two_counter_sys();
+        let mut first =
+            Session::separate(SeparateOptions::global()).verdict_cache(VerdictCache::default());
+        let cold = first.run(&sys);
+        assert!(cold.results.iter().all(|r| !r.cached));
+        let cache = first.take_verdict_cache().unwrap();
+        assert_eq!(
+            cache.len(),
+            sys.num_properties(),
+            "all four verdicts cached"
+        );
+
+        let mut second = Session::separate(SeparateOptions::global()).verdict_cache(cache);
+        let warm = second.run(&sys);
+        assert!(warm.results.iter().all(|r| r.cached), "{warm}");
+        for (a, b) in cold.results.iter().zip(&warm.results) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.holds(), b.holds(), "{}", a.name);
+            assert_eq!(a.fails(), b.fails(), "{}", a.name);
+        }
+    }
+
+    #[test]
+    fn local_scope_never_touches_the_cache() {
+        let sys = two_counter_sys();
+        let mut session =
+            Session::separate(SeparateOptions::local()).verdict_cache(VerdictCache::default());
+        let report = session.run(&sys);
+        assert!(report.results.iter().all(|r| !r.cached));
+        assert!(session.take_verdict_cache().unwrap().is_empty());
+    }
+
+    #[test]
+    fn learned_plan_reorders_by_recorded_cost() {
+        use japrove_obs::{FeatureStore, RunRecord};
+        let sys = two_counter_sys();
+        let design = format!("{:016x}", sys.structural_hash());
+        // All four cones are the same size, so the proxy keeps
+        // declaration order; the store says property 3 dwarfs the rest.
+        let mut store = FeatureStore::default();
+        for (name, time) in [
+            ("c0_ok", 10),
+            ("c0_tight", 10),
+            ("c1_ok", 10),
+            ("c1_tight", 9000),
+        ] {
+            store.upsert(RunRecord {
+                design: design.clone(),
+                property: name.into(),
+                mode: "parallel".into(),
+                verdict: "holds".into(),
+                time_us: time,
+                frames: 1,
+                conflicts: time,
+                decisions: time,
+                propagations: 0,
+                restarts: 0,
+            });
+        }
+        let model = CostModel::from_store(&store, &sys);
+        let proxy = Session::parallel(SeparateOptions::global(), 1).plan(&sys);
+        let learned = Session::parallel(SeparateOptions::global(), 1)
+            .schedule(SchedulePolicy::Learned)
+            .cost_model(model)
+            .plan(&sys);
+        assert_eq!(learned.dispatch_order()[0], PropertyId::new(3));
+        assert_ne!(proxy.dispatch_order(), learned.dispatch_order());
+    }
+}

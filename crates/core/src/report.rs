@@ -51,6 +51,9 @@ pub struct PropertyResult {
     /// (all zeros) for verdicts that never reached an engine, e.g.
     /// deadline-expired properties.
     pub stats: RunStats,
+    /// `true` if the verdict came from the verdict cache (re-certified
+    /// evidence from an earlier run) rather than a fresh engine run.
+    pub cached: bool,
 }
 
 impl PropertyResult {
@@ -181,7 +184,13 @@ impl fmt::Display for MultiReport {
                 } else {
                     format!("  [{}]", r.backend)
                 },
-                if r.retried { "  [retried]" } else { "" }
+                if r.retried {
+                    "  [retried]"
+                } else if r.cached {
+                    "  [cached]"
+                } else {
+                    ""
+                }
             )?;
         }
         Ok(())
@@ -214,6 +223,7 @@ mod tests {
             retried: false,
             backend: BackendChoice::default(),
             stats: RunStats::default(),
+            cached: false,
         }
     }
 

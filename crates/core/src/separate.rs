@@ -6,9 +6,7 @@
 //! with or without clause re-use.
 
 use crate::{ClauseDb, MultiReport, PropertyResult, Scope};
-use japrove_ic3::{
-    CheckOutcome, ClauseSource, Ic3Options, Lifting, RunStats, SolverCtx, TsEncoding,
-};
+use japrove_ic3::{CheckOutcome, ClauseSource, Ic3Options, Lifting, SolverCtx, TsEncoding};
 use japrove_obs::{Journal, Phase};
 use japrove_sat::{BackendChoice, Budget};
 use japrove_tsys::{replay, Expectation, PropertyId, TransitionSystem};
@@ -331,6 +329,7 @@ pub(crate) fn check_one_imports(
         retried,
         backend,
         stats,
+        cached: false,
     }
 }
 
@@ -384,54 +383,7 @@ pub fn check_one_property(
 /// assert_eq!(report.num_true(), 1);
 /// ```
 pub fn separate_verify(sys: &TransitionSystem, opts: &SeparateOptions) -> MultiReport {
-    let started = Instant::now();
-    let deadline = opts.total.map(|d| Instant::now() + d);
-    let assumed = match opts.scope {
-        Scope::Local => local_assumptions(sys),
-        Scope::Global => Vec::new(),
-    };
-    let order: Vec<PropertyId> = opts
-        .order
-        .clone()
-        .unwrap_or_else(|| sys.property_ids().collect());
-    let db = ClauseDb::new();
-    let method = match (opts.scope, opts.reuse) {
-        (Scope::Local, true) => "ja-verification",
-        (Scope::Local, false) => "ja-verification (no reuse)",
-        (Scope::Global, true) => "separate-global",
-        (Scope::Global, false) => "separate-global (no reuse)",
-    };
-    let mut report = MultiReport::new(sys.name(), method);
-    let mut pool = {
-        let _enc_span = opts.journal.span(Phase::Encode);
-        CtxPool::new(sys)
-    };
-    pool.set_journal(opts.journal.clone());
-    for id in order {
-        if deadline.is_some_and(|d| Instant::now() >= d) {
-            report.results.push(PropertyResult {
-                id,
-                name: sys.property(id).name.clone(),
-                outcome: CheckOutcome::Unknown(japrove_ic3::UnknownReason::Budget),
-                scope: opts.scope,
-                time: Duration::ZERO,
-                frames: 0,
-                retried: false,
-                backend: opts.backend_of(id),
-                stats: RunStats::default(),
-            });
-            continue;
-        }
-        let result = check_one(sys, id, &assumed, &db, opts, deadline, &mut pool, true);
-        if opts.reuse {
-            if let CheckOutcome::Proved(cert) = &result.outcome {
-                db.publish(cert.clauses.iter().cloned());
-            }
-        }
-        report.results.push(result);
-    }
-    report.total_time = started.elapsed();
-    report
+    crate::Session::separate(opts.clone()).run(sys)
 }
 
 /// JA-verification (§4): separate verification with local proofs and

@@ -1,0 +1,286 @@
+//! The persistent verdict cache: skip re-verifying properties whose
+//! cones did not change.
+//!
+//! Entries are keyed by `(structural hash of the property's
+//! cone-of-influence reduction, property name)`. The cone hash is the
+//! whole point: after a small design edit, only the properties whose
+//! cones the edit actually reaches get a new hash — everything else
+//! hits the cache and is *re-certified* instead of re-solved. That is
+//! the groundwork for the verification-as-a-service ROADMAP item,
+//! where the same design family is resubmitted over and over.
+//!
+//! # Soundness
+//!
+//! Only **global** verdicts are cacheable. A local (JA) verdict is
+//! relative to the assumption set — the other ETH properties of the
+//! *whole design* — which the cone hash does not capture; caching one
+//! could replay a verdict under assumptions that no longer exist. The
+//! pipeline therefore only consults and fills the cache under
+//! [`crate::Scope::Global`].
+//!
+//! Entries carry enough evidence to be re-checked, and the pipeline
+//! never trusts one blindly:
+//!
+//! * a `holds` entry stores the certificate clauses *in reduced-cone
+//!   latch indices*; on a hit they are verified on the reduced system
+//!   and then lifted index-for-index onto the current design (the same
+//!   argument that makes the clustered driver's certificate lifting
+//!   sound: the kept latches evolve identically);
+//! * a `fails` entry stores the counterexample's *reduced* input
+//!   vectors; on a hit they are lifted, completed by simulation and
+//!   replayed — the trace must still falsify the property.
+//!
+//! An entry that fails its re-check is treated as a miss, never an
+//! error. `unknown` verdicts are never cached.
+
+use japrove_obs::json::Value;
+use std::io;
+use std::path::Path;
+
+/// One cached verdict with its re-checkable evidence.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CacheEntry {
+    /// Structural hash of the property's cone reduction, fixed-width
+    /// hex.
+    pub cone: String,
+    /// The property's name.
+    pub property: String,
+    /// `holds` or `fails` (never `unknown`).
+    pub verdict: String,
+    /// For `holds`: certificate clauses over reduced latch variables,
+    /// each literal as a signed 1-based index (`-3` = latch 2 negated).
+    pub clauses: Vec<Vec<i64>>,
+    /// For `fails`: per-step input vectors of the reduced system.
+    pub inputs: Vec<Vec<bool>>,
+    /// For `fails`: the counterexample depth (number of transitions).
+    pub depth: u64,
+}
+
+impl CacheEntry {
+    fn to_json(&self) -> Value {
+        Value::Obj(vec![
+            ("cone".into(), Value::Str(self.cone.clone())),
+            ("property".into(), Value::Str(self.property.clone())),
+            ("verdict".into(), Value::Str(self.verdict.clone())),
+            (
+                "clauses".into(),
+                Value::Arr(
+                    self.clauses
+                        .iter()
+                        .map(|c| Value::Arr(c.iter().map(|&l| Value::Int(l)).collect()))
+                        .collect(),
+                ),
+            ),
+            (
+                "inputs".into(),
+                Value::Arr(
+                    self.inputs
+                        .iter()
+                        .map(|step| Value::Arr(step.iter().map(|&b| Value::Bool(b)).collect()))
+                        .collect(),
+                ),
+            ),
+            ("depth".into(), Value::Int(self.depth as i64)),
+        ])
+    }
+
+    fn from_json(v: &Value) -> Option<CacheEntry> {
+        let s = |name: &str| v.get(name).and_then(Value::as_str).map(str::to_string);
+        let entry = CacheEntry {
+            cone: s("cone")?,
+            property: s("property")?,
+            verdict: s("verdict")?,
+            clauses: match v.get("clauses")? {
+                Value::Arr(cs) => cs
+                    .iter()
+                    .map(|c| match c {
+                        Value::Arr(lits) => lits.iter().map(Value::as_i64).collect(),
+                        _ => None,
+                    })
+                    .collect::<Option<_>>()?,
+                _ => return None,
+            },
+            inputs: match v.get("inputs")? {
+                Value::Arr(steps) => steps
+                    .iter()
+                    .map(|step| match step {
+                        Value::Arr(bits) => bits.iter().map(Value::as_bool).collect(),
+                        _ => None,
+                    })
+                    .collect::<Option<_>>()?,
+                _ => return None,
+            },
+            depth: v.get("depth")?.as_u64()?,
+        };
+        // A literal of value 0 has no latch; a stale entry carrying one
+        // is malformed, not a crash.
+        let lits_ok = entry.clauses.iter().flatten().all(|&l| l != 0);
+        (lits_ok && matches!(entry.verdict.as_str(), "holds" | "fails")).then_some(entry)
+    }
+}
+
+/// A load-merge-save collection of [`CacheEntry`]s keyed by
+/// `(cone, property)`, stored as JSONL.
+///
+/// # Examples
+///
+/// ```
+/// use japrove_core::{CacheEntry, VerdictCache};
+///
+/// let mut cache = VerdictCache::default();
+/// cache.upsert(CacheEntry {
+///     cone: "00000000deadbeef".into(),
+///     property: "p0".into(),
+///     verdict: "holds".into(),
+///     clauses: vec![vec![1, -2]],
+///     inputs: vec![],
+///     depth: 0,
+/// });
+/// assert!(cache.get("00000000deadbeef", "p0").is_some());
+/// assert!(cache.get("00000000deadbeef", "p1").is_none());
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct VerdictCache {
+    entries: Vec<CacheEntry>,
+}
+
+impl VerdictCache {
+    /// Loads a cache from a JSONL file, skipping malformed or stale
+    /// lines; returns the cache and the number of skipped lines. A
+    /// missing file is an empty cache (first run). Like the feature
+    /// store's lossy loader, a half-corrupted cache degrades to misses,
+    /// never a panic.
+    pub fn load_lossy(path: impl AsRef<Path>) -> Result<(VerdictCache, usize), io::Error> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Ok((VerdictCache::default(), 0))
+            }
+            Err(e) => return Err(e),
+        };
+        let mut cache = VerdictCache::default();
+        let mut skipped = 0usize;
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match Value::parse(line)
+                .ok()
+                .and_then(|v| CacheEntry::from_json(&v))
+            {
+                Some(entry) => cache.upsert(entry),
+                None => skipped += 1,
+            }
+        }
+        Ok((cache, skipped))
+    }
+
+    /// Writes the cache back as JSONL, one entry per line.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), io::Error> {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&e.to_json().to_string());
+            out.push('\n');
+        }
+        std::fs::write(path, out)
+    }
+
+    /// Inserts `entry`, replacing any existing entry with the same
+    /// `(cone, property)` key.
+    pub fn upsert(&mut self, entry: CacheEntry) {
+        match self
+            .entries
+            .iter_mut()
+            .find(|e| e.cone == entry.cone && e.property == entry.property)
+        {
+            Some(existing) => *existing = entry,
+            None => self.entries.push(entry),
+        }
+    }
+
+    /// The entry for `(cone, property)`, if present.
+    pub fn get(&self, cone: &str, property: &str) -> Option<&CacheEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.cone == cone && e.property == property)
+    }
+
+    /// Number of cached verdicts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if the cache has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(property: &str, verdict: &str) -> CacheEntry {
+        CacheEntry {
+            cone: "0123456789abcdef".into(),
+            property: property.into(),
+            verdict: verdict.into(),
+            clauses: vec![vec![1, -2], vec![3]],
+            inputs: vec![vec![true, false], vec![false, false]],
+            depth: 1,
+        }
+    }
+
+    #[test]
+    fn round_trip_and_upsert() {
+        let dir = std::env::temp_dir().join(format!("japrove_vcache_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.jsonl");
+        let mut cache = VerdictCache::default();
+        cache.upsert(entry("p0", "holds"));
+        cache.upsert(entry("p1", "fails"));
+        cache.upsert(entry("p0", "fails")); // replaces
+        assert_eq!(cache.len(), 2);
+        cache.save(&path).unwrap();
+        let (loaded, skipped) = VerdictCache::load_lossy(&path).unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(loaded, cache);
+        assert_eq!(
+            loaded.get("0123456789abcdef", "p0").unwrap().verdict,
+            "fails"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_cache() {
+        let (cache, skipped) =
+            VerdictCache::load_lossy("/nonexistent/japrove/cache.jsonl").unwrap();
+        assert!(cache.is_empty());
+        assert_eq!(skipped, 0);
+    }
+
+    #[test]
+    fn malformed_and_stale_lines_are_skipped_with_a_count() {
+        let dir = std::env::temp_dir().join(format!("japrove_vcache_bad_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.jsonl");
+        let good = entry("p0", "holds").to_json().to_string();
+        let stale_verdict = entry("p1", "unknown").to_json().to_string();
+        let zero_lit = CacheEntry {
+            clauses: vec![vec![0]],
+            ..entry("p2", "holds")
+        }
+        .to_json()
+        .to_string();
+        std::fs::write(
+            &path,
+            format!("{good}\nnot json\n{stale_verdict}\n{zero_lit}\n{{\"cone\":1}}\n"),
+        )
+        .unwrap();
+        let (cache, skipped) = VerdictCache::load_lossy(&path).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(skipped, 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -56,6 +56,9 @@ const SHARDS: usize = 16;
 pub enum Phase {
     /// The whole verification run (the root span).
     Run,
+    /// The planning stage of the scheduling pipeline: verdict-cache
+    /// consultation, clustering and cost-model unit ordering.
+    Plan,
     /// Building the shared CNF encoding of the design.
     Encode,
     /// Affinity-graph construction incl. the probing BMC pass.
@@ -84,6 +87,7 @@ impl Phase {
     /// Every phase, in display order.
     pub const ALL: &'static [Phase] = &[
         Phase::Run,
+        Phase::Plan,
         Phase::Encode,
         Phase::AffinityProbe,
         Phase::Cluster,
@@ -99,6 +103,7 @@ impl Phase {
     pub fn name(self) -> &'static str {
         match self {
             Phase::Run => "run",
+            Phase::Plan => "plan",
             Phase::Encode => "encode",
             Phase::AffinityProbe => "affinity_probe",
             Phase::Cluster => "cluster",

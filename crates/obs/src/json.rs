@@ -69,6 +69,22 @@ impl Value {
         self.as_u64().and_then(|v| usize::try_from(v).ok())
     }
 
+    /// The integer payload as `i64`, if this is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Parses a complete JSON document.
     pub fn parse(text: &str) -> Result<Value, ParseError> {
         let mut p = Parser {

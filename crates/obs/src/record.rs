@@ -71,7 +71,7 @@ impl RunRecord {
                 .and_then(Value::as_u64)
                 .ok_or(StoreError::Field(name))
         };
-        Ok(RunRecord {
+        let record = RunRecord {
             design: s("design")?,
             property: s("property")?,
             mode: s("mode")?,
@@ -82,7 +82,11 @@ impl RunRecord {
             decisions: n("decisions")?,
             propagations: n("propagations")?,
             restarts: n("restarts")?,
-        })
+        };
+        if !matches!(record.verdict.as_str(), "holds" | "fails" | "unknown") {
+            return Err(StoreError::Field("verdict"));
+        }
+        Ok(record)
     }
 }
 
@@ -175,6 +179,38 @@ impl FeatureStore {
         Ok(())
     }
 
+    /// Loads a store, skipping (instead of rejecting) malformed or
+    /// stale lines: lines that are not valid JSON, records missing or
+    /// mistyping a field, and records whose verdict is not one of
+    /// `holds`/`fails`/`unknown`. Returns the store together with the
+    /// number of skipped lines, so callers can surface a counted
+    /// warning — a half-corrupted store from a crashed run must never
+    /// take the scheduler down with it.
+    pub fn load_lossy(path: impl AsRef<Path>) -> Result<(FeatureStore, usize), StoreError> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                return Ok((FeatureStore::default(), 0))
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let mut store = FeatureStore::default();
+        let mut skipped = 0usize;
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match Value::parse(line)
+                .ok()
+                .and_then(|v| RunRecord::from_json(&v).ok())
+            {
+                Some(record) => store.upsert(record),
+                None => skipped += 1,
+            }
+        }
+        Ok((store, skipped))
+    }
+
     /// Inserts `record`, replacing any existing record with the same
     /// `(design, property, mode)` key.
     pub fn upsert(&mut self, record: RunRecord) {
@@ -198,6 +234,15 @@ impl FeatureStore {
     /// Every stored record, in insertion order.
     pub fn records(&self) -> &[RunRecord] {
         &self.records
+    }
+
+    /// Every record for one design (by structural-hash hex key), in
+    /// insertion order — the query a cost model starts from. Because
+    /// records are keyed by [`japrove's structural hash`](RunRecord::design)
+    /// rather than the file name, a renamed-but-identical design still
+    /// finds its history.
+    pub fn for_design<'a>(&'a self, design: &'a str) -> impl Iterator<Item = &'a RunRecord> + 'a {
+        self.records.iter().filter(move |r| r.design == design)
     }
 
     /// Number of stored records.

@@ -7,10 +7,9 @@
 //! property.
 
 use japrove::core::{
-    grouped_verify, ja_verify, joint_verify, local_assumptions, mine_verify,
-    parallel_clustered_verify, parallel_ja_verify_with, separate_verify, validate_debugging_set,
-    AffinityMetric, ClusteredOptions, GroupingOptions, JointOptions, MultiReport, ParallelMode,
-    SeparateOptions,
+    grouped_verify, local_assumptions, mine_verify, validate_debugging_set, AffinityMetric,
+    ClusteredOptions, CostModel, GroupingOptions, JointOptions, MultiReport, SchedulePolicy,
+    SeparateOptions, Session, VerdictCache,
 };
 use japrove::ic3::Lifting;
 use japrove::mine::MineOptions;
@@ -37,8 +36,10 @@ OPTIONS:
                               [default: hybrid]
     --threads <N>             workers for the parallel and clustered
                               modes [default: 2]
-    --schedule <steal|fifo>   parallel dispatch: incremental work-stealing
-                              or the cold FIFO baseline [default: steal]
+    --schedule <steal|fifo|learned>
+                              parallel dispatch: incremental work-stealing,
+                              the cold FIFO baseline, or stealing over a
+                              cost-model dispatch order [default: steal]
     --backend <cdcl|chrono>   SAT backend for every engine run
                               [default: cdcl]
     --per-property <SECS>     time limit per property
@@ -59,6 +60,13 @@ OPTIONS:
                               stats) as JSON
     --feature-store <FILE>    merge per-property cost records into a
                               persistent JSONL feature store
+    --cost-model <FILE>       feature store to read per-property cost
+                              predictions from (defaults to the
+                              --feature-store file when given)
+    --verdict-cache <FILE>    read/write a verdict cache keyed by
+                              (cone structural hash, property); warm
+                              hits re-certify the stored evidence
+                              instead of re-solving
     --check-trace <FILE>      validate a JSONL trace against the event
                               schema and exit
     --witness-dir <DIR>       write AIGER witnesses for failing properties
@@ -66,6 +74,17 @@ OPTIONS:
     -q, --quiet               only print the summary line
     -h, --help                show this help
 ";
+
+/// The set of `--mode` values, in the order USAGE lists them.
+const MODES: &[&str] = &[
+    "ja",
+    "joint",
+    "separate-global",
+    "grouped",
+    "clustered",
+    "parallel",
+    "parallel-global",
+];
 
 struct Cli {
     path: String,
@@ -75,7 +94,7 @@ struct Cli {
     mode: String,
     affinity: AffinityMetric,
     threads: usize,
-    schedule: ParallelMode,
+    schedule: SchedulePolicy,
     backend: BackendChoice,
     per_property: Option<Duration>,
     total: Option<Duration>,
@@ -85,6 +104,8 @@ struct Cli {
     metrics: bool,
     json_out: Option<String>,
     feature_store: Option<String>,
+    cost_model: Option<String>,
+    verdict_cache: Option<String>,
     check_trace: Option<String>,
     witness_dir: Option<String>,
     validate: bool,
@@ -100,7 +121,7 @@ fn parse_args() -> Result<Cli, String> {
         mode: "ja".into(),
         affinity: AffinityMetric::default(),
         threads: 2,
-        schedule: ParallelMode::Incremental,
+        schedule: SchedulePolicy::Steal,
         backend: BackendChoice::default(),
         per_property: None,
         total: None,
@@ -110,6 +131,8 @@ fn parse_args() -> Result<Cli, String> {
         metrics: false,
         json_out: None,
         feature_store: None,
+        cost_model: None,
+        verdict_cache: None,
         check_trace: None,
         witness_dir: None,
         validate: false,
@@ -136,13 +159,7 @@ fn parse_args() -> Result<Cli, String> {
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| "invalid --threads (need an integer >= 1)".to_string())?
             }
-            "--schedule" => {
-                cli.schedule = match value("--schedule")?.as_str() {
-                    "steal" => ParallelMode::Incremental,
-                    "fifo" => ParallelMode::ColdFifo,
-                    other => return Err(format!("unknown schedule '{other}'")),
-                }
-            }
+            "--schedule" => cli.schedule = value("--schedule")?.parse()?,
             "--per-property" => {
                 let secs: f64 = value("--per-property")?
                     .parse()
@@ -177,6 +194,8 @@ fn parse_args() -> Result<Cli, String> {
             "--metrics" => cli.metrics = true,
             "--json" => cli.json_out = Some(value("--json")?),
             "--feature-store" => cli.feature_store = Some(value("--feature-store")?),
+            "--cost-model" => cli.cost_model = Some(value("--cost-model")?),
+            "--verdict-cache" => cli.verdict_cache = Some(value("--verdict-cache")?),
             "--check-trace" => cli.check_trace = Some(value("--check-trace")?),
             "--witness-dir" => cli.witness_dir = Some(value("--witness-dir")?),
             other if other.starts_with('-') => return Err(format!("unknown option '{other}'")),
@@ -187,6 +206,13 @@ fn parse_args() -> Result<Cli, String> {
                 cli.path = path.to_string();
             }
         }
+    }
+    if !MODES.contains(&cli.mode.as_str()) {
+        return Err(format!(
+            "unknown mode '{}' (available: {})",
+            cli.mode,
+            MODES.join(", ")
+        ));
     }
     if cli.check_trace.is_some() {
         return Ok(cli);
@@ -245,41 +271,70 @@ fn run(cli: &Cli, journal: &Journal) -> Result<(MultiReport, TransitionSystem), 
         opts
     };
 
-    const MODES: &[&str] = &[
-        "ja",
-        "separate-global",
-        "joint",
-        "grouped",
-        "clustered",
-        "parallel",
-        "parallel-global",
-    ];
-    if !MODES.contains(&cli.mode.as_str()) {
-        return Err(format!("unknown mode '{}'", cli.mode));
-    }
-
-    let _run_span = journal.span_labeled(Phase::Run, cli.mode.as_str());
-    let verify = |sys: &TransitionSystem| match cli.mode.as_str() {
-        "ja" => ja_verify(sys, &sep),
-        "separate-global" => separate_verify(sys, &global(sep.clone())),
-        "joint" => joint_verify(sys, &joint),
-        "grouped" => grouped_verify(sys, &GroupingOptions::new().joint(joint)),
-        "clustered" => {
-            let opts = ClusteredOptions::new()
-                .metric(cli.affinity)
-                .separate(global(sep.clone()))
-                .backend(cli.backend)
-                .journal(journal.clone());
-            parallel_clustered_verify(sys, cli.threads, &opts)
+    // The cost model reads from --cost-model when given, else from the
+    // --feature-store file, so a store that is being written warms the
+    // very next run without extra flags.
+    let model_store = match cli.cost_model.as_ref().or(cli.feature_store.as_ref()) {
+        Some(path) => {
+            let (store, skipped) = FeatureStore::load_lossy(path)
+                .map_err(|e| format!("cannot read feature store {path}: {e}"))?;
+            if skipped > 0 {
+                eprintln!("warning: feature store {path}: skipped {skipped} malformed records");
+            }
+            Some(store)
         }
-        "parallel" => parallel_ja_verify_with(sys, cli.threads, &sep, cli.schedule),
-        "parallel-global" => {
-            parallel_ja_verify_with(sys, cli.threads, &global(sep.clone()), cli.schedule)
+        None => None,
+    };
+    let mut cache_slot = match &cli.verdict_cache {
+        Some(path) => {
+            let (cache, skipped) = VerdictCache::load_lossy(path)
+                .map_err(|e| format!("cannot read verdict cache {path}: {e}"))?;
+            if skipped > 0 {
+                eprintln!("warning: verdict cache {path}: skipped {skipped} malformed entries");
+            }
+            Some(cache)
         }
-        other => unreachable!("mode '{other}' slipped past validation"),
+        None => None,
     };
 
-    if cli.mine {
+    let _run_span = journal.span_labeled(Phase::Run, cli.mode.as_str());
+    // Every Session-backed mode funnels through one closure so the mine
+    // path (which verifies the *mined* system) shares the exact same
+    // wiring: the cost model keys off whichever system is verified.
+    let mut verify = |sys: &TransitionSystem| match cli.mode.as_str() {
+        "grouped" => grouped_verify(sys, &GroupingOptions::new().joint(joint.clone())),
+        mode => {
+            let mut session = match mode {
+                "ja" => Session::separate(sep.clone()),
+                "separate-global" => Session::separate(global(sep.clone())),
+                "joint" => Session::joint(joint.clone()),
+                "clustered" => {
+                    let opts = ClusteredOptions::new()
+                        .metric(cli.affinity)
+                        .separate(global(sep.clone()))
+                        .backend(cli.backend)
+                        .journal(journal.clone());
+                    Session::clustered(opts, cli.threads)
+                }
+                "parallel" => Session::parallel(sep.clone(), cli.threads).schedule(cli.schedule),
+                "parallel-global" => {
+                    Session::parallel(global(sep.clone()), cli.threads).schedule(cli.schedule)
+                }
+                other => unreachable!("mode '{other}' slipped past validation"),
+            };
+            if let Some(store) = &model_store {
+                session = session.cost_model(CostModel::from_store(store, sys));
+            }
+            if let Some(cache) = cache_slot.take() {
+                session = session.verdict_cache(cache);
+            }
+            let report = session.run(sys);
+            cache_slot = session.take_verdict_cache();
+            report
+        }
+    };
+
+    let (report, sys) = if cli.mine {
         let k = cli.mine_depth.unwrap_or(2);
         let opts = MineOptions::new()
             .k(k)
@@ -297,9 +352,23 @@ fn run(cli: &Cli, journal: &Journal) -> Result<(MultiReport, TransitionSystem), 
             s.sim_killed(),
             s.induction_killed(),
         );
-        return Ok((outcome.report, outcome.mined.sys));
+        (outcome.report, outcome.mined.sys)
+    } else {
+        let report = verify(&sys);
+        (report, sys)
+    };
+
+    if let Some(path) = &cli.verdict_cache {
+        if let Some(cache) = &cache_slot {
+            cache
+                .save(path)
+                .map_err(|e| format!("cannot write verdict cache {path}: {e}"))?;
+            let hits = report.results.iter().filter(|r| r.cached).count();
+            // Deterministic line the CI schedule-smoke job greps.
+            println!("verdict cache {path}: {hits} hits, {} entries", cache.len());
+        }
     }
-    Ok((verify(&sys), sys))
+    Ok((report, sys))
 }
 
 /// Renders the report (with each property's engine and SAT counters)
@@ -325,6 +394,7 @@ fn report_json(report: &MultiReport) -> Value {
                 ("time_us".into(), int(r.time.as_micros() as u64)),
                 ("frames".into(), int(r.frames as u64)),
                 ("retried".into(), Value::Bool(r.retried)),
+                ("cached".into(), Value::Bool(r.cached)),
                 ("backend".into(), Value::Str(r.backend.to_string())),
                 (
                     "stats".into(),
@@ -367,9 +437,14 @@ fn update_feature_store(
     report: &MultiReport,
     mode: &str,
 ) -> Result<usize, String> {
-    let mut store = FeatureStore::load(path).map_err(|e| e.to_string())?;
+    let (mut store, skipped) = FeatureStore::load_lossy(path).map_err(|e| e.to_string())?;
+    if skipped > 0 {
+        eprintln!("warning: feature store {path}: skipped {skipped} malformed records");
+    }
     let design = format!("{:016x}", sys.structural_hash());
-    for r in &report.results {
+    // Cache hits cost ~no solver time; recording them would teach the
+    // cost model that the property is free. Only fresh runs train it.
+    for r in report.results.iter().filter(|r| !r.cached) {
         let verdict = if r.holds() {
             "holds"
         } else if r.fails() {

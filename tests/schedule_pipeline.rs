@@ -1,0 +1,228 @@
+//! The learned scheduling pipeline, end to end: a feature store from a
+//! first run must (a) never change verdicts, only order; (b) actually
+//! reorder dispatch when the recorded costs disagree with the COI-size
+//! proxy; and (c) let a verdict cache skip exactly the properties whose
+//! cones did not change across a design edit.
+
+use japrove::aig::Aig;
+use japrove::core::{
+    CostModel, MultiReport, SchedulePolicy, SeparateOptions, Session, VerdictCache,
+};
+use japrove::genbench::FamilyParams;
+use japrove::obs::{FeatureStore, RunRecord};
+use japrove::tsys::{TransitionSystem, Word};
+
+/// A mixed family: deep chains, a ring and trivial properties, so COI
+/// sizes differ and the proxy order is non-trivial.
+fn mixed_design() -> TransitionSystem {
+    FamilyParams::new("sched_mix", 77)
+        .chain(2, 10)
+        .ring(4, 4)
+        .easy_true(3)
+        .generate()
+        .sys
+}
+
+/// Records every result of `report` into a store under `design`'s
+/// structural hash, as the CLI's `--feature-store` path would.
+fn store_from(sys: &TransitionSystem, report: &MultiReport) -> FeatureStore {
+    let design = format!("{:016x}", sys.structural_hash());
+    let mut store = FeatureStore::default();
+    for r in &report.results {
+        let verdict = if r.holds() {
+            "holds"
+        } else if r.fails() {
+            "fails"
+        } else {
+            "unknown"
+        };
+        store.upsert(RunRecord {
+            design: design.clone(),
+            property: r.name.clone(),
+            mode: "separate-global".into(),
+            verdict: verdict.into(),
+            time_us: r.time.as_micros() as u64,
+            frames: r.frames as u64,
+            conflicts: r.stats.sat.conflicts,
+            decisions: r.stats.sat.decisions,
+            propagations: r.stats.sat.propagations,
+            restarts: r.stats.sat.restarts,
+        });
+    }
+    store
+}
+
+fn assert_same_verdicts(a: &MultiReport, b: &MultiReport) {
+    assert_eq!(a.results.len(), b.results.len());
+    for r in &a.results {
+        let other = b
+            .result(r.id)
+            .unwrap_or_else(|| panic!("{} missing", r.name));
+        assert_eq!(r.holds(), other.holds(), "{}", r.name);
+        assert_eq!(r.fails(), other.fails(), "{}", r.name);
+    }
+}
+
+/// (a) A warm cost model reorders dispatch but never changes verdicts,
+/// at one worker and at eight.
+#[test]
+fn learned_schedule_preserves_verdicts_at_1_and_8_threads() {
+    let sys = mixed_design();
+    let seed_report = Session::separate(SeparateOptions::global()).run(&sys);
+    let store = store_from(&sys, &seed_report);
+
+    for threads in [1, 8] {
+        let proxy = Session::parallel(SeparateOptions::global(), threads).run(&sys);
+        let learned = Session::parallel(SeparateOptions::global(), threads)
+            .schedule(SchedulePolicy::Learned)
+            .cost_model(CostModel::from_store(&store, &sys))
+            .run(&sys);
+        assert!(learned.method.contains("[learned]"), "{}", learned.method);
+        assert_same_verdicts(&proxy, &learned);
+        assert_same_verdicts(&seed_report, &learned);
+    }
+}
+
+/// (b) When the store's recorded costs disagree with COI size, the
+/// learned plan diverges from the proxy plan and leads with the
+/// recorded-expensive property.
+#[test]
+fn learned_dispatch_order_follows_the_store_not_the_cone() {
+    let sys = mixed_design();
+    // The proxy ranks by cone size, so an `easy_true` property (a
+    // one-latch cone) goes last. Record it as the most expensive.
+    let expensive = sys
+        .property_ids()
+        .into_iter()
+        .find(|&p| sys.property(p).name.starts_with("easy_true"))
+        .expect("family has easy_true properties");
+    let design = format!("{:016x}", sys.structural_hash());
+    let mut store = FeatureStore::default();
+    for p in sys.property_ids() {
+        let cost = if p == expensive { 60_000_000 } else { 100 };
+        store.upsert(RunRecord {
+            design: design.clone(),
+            property: sys.property(p).name.clone(),
+            mode: "parallel-global".into(),
+            verdict: "holds".into(),
+            time_us: cost,
+            frames: 1,
+            conflicts: cost,
+            decisions: cost,
+            propagations: 0,
+            restarts: 0,
+        });
+    }
+
+    let proxy = Session::parallel(SeparateOptions::global(), 1).plan(&sys);
+    let learned = Session::parallel(SeparateOptions::global(), 1)
+        .schedule(SchedulePolicy::Learned)
+        .cost_model(CostModel::from_store(&store, &sys))
+        .plan(&sys);
+    assert_ne!(
+        proxy.dispatch_order(),
+        learned.dispatch_order(),
+        "a store that contradicts the proxy must change the plan"
+    );
+    assert_eq!(
+        learned.dispatch_order().first().copied(),
+        Some(expensive),
+        "the recorded-expensive property dispatches first"
+    );
+    assert_ne!(
+        proxy.dispatch_order().first().copied(),
+        Some(expensive),
+        "the proxy would not have put the tiny cone first"
+    );
+}
+
+/// Two independent 3-bit counters; `bump1` controls how far counter 1
+/// steps each cycle, so changing it edits counter 1's cone while
+/// counter 0's cone stays structurally identical. With an even bump
+/// the counter only visits even values: `ne3` holds (and genuinely
+/// depends on the latches), `ne4` fails.
+fn two_counters(bump1: usize) -> TransitionSystem {
+    let mut aig = Aig::new();
+    let mut props = Vec::new();
+    for (i, bumps) in [2usize, bump1].into_iter().enumerate() {
+        let w = Word::latches(&mut aig, 3, 0);
+        let mut n = w.clone();
+        for _ in 0..bumps {
+            n = n.increment(&mut aig);
+        }
+        w.set_next(&mut aig, &n);
+        let at3 = w.eq_const(&mut aig, 3);
+        let at4 = w.eq_const(&mut aig, 4);
+        props.push((format!("c{i}_ne3"), !at3));
+        props.push((format!("c{i}_ne4"), !at4));
+    }
+    let mut sys = TransitionSystem::new("pair", aig);
+    for (name, good) in props {
+        sys.add_property(name, good);
+    }
+    sys
+}
+
+/// (c) After a design edit, a warm verdict cache re-solves exactly the
+/// properties whose cones changed and replays the rest from cache, with
+/// identical verdicts.
+#[test]
+fn verdict_cache_skips_only_unchanged_cones_after_a_mutation() {
+    let before = two_counters(2);
+    let mut cold =
+        Session::separate(SeparateOptions::global()).verdict_cache(VerdictCache::default());
+    let cold_report = cold.run(&before);
+    assert!(cold_report.results.iter().all(|r| !r.cached));
+    let cache = cold.take_verdict_cache().unwrap();
+
+    // Same-design warm rerun: whatever evidence fit its cone is now a
+    // hit. (A certificate that mentions an out-of-cone latch is
+    // soundly *not* cached, so derive the cacheable set empirically.)
+    let mut same = Session::separate(SeparateOptions::global()).verdict_cache(cache);
+    let same_report = same.run(&before);
+    let cacheable: Vec<String> = same_report
+        .results
+        .iter()
+        .filter(|r| r.cached)
+        .map(|r| r.name.clone())
+        .collect();
+    assert!(
+        cacheable.iter().any(|n| n.starts_with("c0_")),
+        "some counter-0 verdict must be cacheable, got {cacheable:?}"
+    );
+    assert!(
+        cacheable.iter().any(|n| n.starts_with("c1_")),
+        "some counter-1 verdict must be cacheable, got {cacheable:?}"
+    );
+    let cache = same.take_verdict_cache().unwrap();
+
+    // Counter 1 now steps by 4: its cone (and c1_* evidence) changed,
+    // counter 0's did not. Only unchanged-cone entries may hit.
+    let after = two_counters(4);
+    let mut warm = Session::separate(SeparateOptions::global()).verdict_cache(cache);
+    let warm_report = warm.run(&after);
+    for r in &warm_report.results {
+        let expect_cached = r.name.starts_with("c0_") && cacheable.contains(&r.name);
+        assert_eq!(
+            r.cached,
+            expect_cached,
+            "{}: cached={} (cone {})",
+            r.name,
+            r.cached,
+            if r.name.starts_with("c0_") {
+                "unchanged"
+            } else {
+                "edited"
+            }
+        );
+    }
+    // Verdicts stay what the design says: both counters only visit
+    // even values, so `_ne3` holds and `_ne4` fails in both designs.
+    for r in &warm_report.results {
+        if r.name.ends_with("_ne3") {
+            assert!(r.holds(), "{}", r.name);
+        } else {
+            assert!(r.fails(), "{}", r.name);
+        }
+    }
+}
