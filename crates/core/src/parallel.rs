@@ -238,7 +238,7 @@ mod tests {
                     let seen = &seen;
                     s.spawn(move || {
                         while let Some(j) = dispatcher.pop(w) {
-                            seen.lock().unwrap().push(j);
+                            seen.lock().unwrap_or_else(|p| p.into_inner()).push(j);
                         }
                     });
                 }

@@ -49,7 +49,7 @@ use japrove_ic3::{
     Ic3, RunStats, TsEncoding, UnknownReason,
 };
 use japrove_logic::{Clause, Var};
-use japrove_obs::{Journal, Phase};
+use japrove_obs::{EventKind, Journal, Phase};
 use japrove_sat::{BackendChoice, Budget};
 use japrove_tsys::{complete_trace, replay, CoiMap, PropertyId, TransitionSystem};
 use std::collections::HashMap;
@@ -420,6 +420,7 @@ impl Session {
             SessionKind::Joint(opts) => run_joint(sys, opts, &plan),
             SessionKind::Clustered(opts) => run_clustered(sys, self.threads, opts, &plan),
         };
+        self.supervise_retries(sys, started, &mut report);
         if self.verdicts_are_global() {
             if let Some(cache) = &mut self.cache {
                 for r in &report.results {
@@ -430,22 +431,107 @@ impl Session {
         report.total_time = started.elapsed();
         report
     }
+
+    /// The supervision-retry pass, run after the main solve stage (so a
+    /// retry never delays a healthy property — "re-queued at lower
+    /// priority"). Properties that settled on `Unknown(EngineFault)` —
+    /// or on `Unknown(Budget)` when a soft per-property watchdog is
+    /// configured — are re-run sequentially, each attempt on a fresh
+    /// cold context (a poisoned pool or clause store never leaks into
+    /// the retry) with a doubled watchdog budget, up to
+    /// [`SeparateOptions::retries`] attempts, before the Unknown
+    /// sticks. The joint driver has a single aggregate attempt and no
+    /// per-property retry.
+    fn supervise_retries(
+        &self,
+        sys: &TransitionSystem,
+        started: Instant,
+        report: &mut MultiReport,
+    ) {
+        let base = match &self.kind {
+            SessionKind::Separate(o) | SessionKind::Parallel(o) => o,
+            SessionKind::Clustered(o) => &o.separate,
+            SessionKind::Joint(_) => return,
+        };
+        if base.retries == 0 {
+            return;
+        }
+        let needs_retry = |r: &PropertyResult| {
+            !r.cached
+                && match r.outcome {
+                    CheckOutcome::Unknown(UnknownReason::EngineFault) => true,
+                    // A plain per-property budget exhaustion is a
+                    // verdict, not a fault; only the soft watchdog
+                    // opts into escalate-and-retry.
+                    CheckOutcome::Unknown(UnknownReason::Budget) => base.property_timeout.is_some(),
+                    _ => false,
+                }
+        };
+        let pending: Vec<usize> = (0..report.results.len())
+            .filter(|&i| needs_retry(&report.results[i]))
+            .collect();
+        if pending.is_empty() {
+            return;
+        }
+        let deadline = base.total.map(|d| started + d);
+        let assumed = match base.scope {
+            Scope::Local => local_assumptions(sys),
+            Scope::Global => Vec::new(),
+        };
+        for i in pending {
+            let id = report.results[i].id;
+            let mut escalated = base.property_timeout;
+            for _attempt in 0..base.retries {
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    return;
+                }
+                escalated = escalated.map(|t| t * 2);
+                let mut opts = base.clone();
+                opts.per_property = None;
+                opts.property_timeout = escalated;
+                let db = ClauseDb::new();
+                let mut pool = {
+                    let _enc_span = opts.journal.span(Phase::Encode);
+                    CtxPool::new(sys)
+                };
+                pool.set_journal(opts.journal.clone());
+                let mut result =
+                    check_one(sys, id, &assumed, &db, &opts, deadline, &mut pool, true);
+                result.retried = true;
+                let settled = !needs_retry(&result);
+                report.results[i] = result;
+                if settled {
+                    break;
+                }
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
 // Solve stage: the four drivers' loops, now in one place.
 // ---------------------------------------------------------------------
 
-/// A deadline-expired placeholder result.
-fn budget_expired(
+/// Renders a caught panic payload for the journal's `fault` events.
+pub(crate) fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".into())
+}
+
+/// A placeholder result with the given unknown reason.
+fn unknown_result(
     sys: &TransitionSystem,
     id: PropertyId,
     opts: &SeparateOptions,
+    reason: UnknownReason,
 ) -> PropertyResult {
     PropertyResult {
         id,
         name: sys.property(id).name.clone(),
-        outcome: CheckOutcome::Unknown(UnknownReason::Budget),
+        outcome: CheckOutcome::Unknown(reason),
         scope: opts.scope,
         time: Duration::ZERO,
         frames: 0,
@@ -454,6 +540,37 @@ fn budget_expired(
         stats: RunStats::default(),
         cached: false,
     }
+}
+
+/// A deadline-expired placeholder result.
+fn budget_expired(
+    sys: &TransitionSystem,
+    id: PropertyId,
+    opts: &SeparateOptions,
+) -> PropertyResult {
+    unknown_result(sys, id, opts, UnknownReason::Budget)
+}
+
+/// Joins the solve-stage worker threads, surviving a worker that died
+/// of an *uncontained* panic (anything that escaped the per-property
+/// `catch_unwind` in `check_one`): the payload is journaled as a
+/// `fault` event and the dead worker's finished results are simply
+/// absent — the callers fill the holes with `Unknown(EngineFault)`.
+fn join_workers<T>(
+    handles: Vec<std::thread::ScopedJoinHandle<'_, Vec<T>>>,
+    journal: &Journal,
+) -> Vec<T> {
+    let mut all = Vec::new();
+    for h in handles {
+        match h.join() {
+            Ok(mine) => all.extend(mine),
+            Err(payload) => journal.event(EventKind::Fault {
+                site: "worker".into(),
+                detail: panic_detail(payload.as_ref()),
+            }),
+        }
+    }
+    all
 }
 
 /// The sequential separate driver: caller-order walk, warm pool,
@@ -562,9 +679,15 @@ fn run_parallel(
         SchedulePolicy::Learned => " [learned]",
     };
     let mut report = MultiReport::new(sys.name(), format!("{scope_label} x{threads}{mode_label}"));
+    // A slot left empty means its worker died of an uncontained panic
+    // before publishing the result; degrade to EngineFault rather than
+    // aborting the whole run.
     report.results = slots
         .into_iter()
-        .map(|s| s.expect("every property processed"))
+        .enumerate()
+        .map(|(i, s)| {
+            s.unwrap_or_else(|| unknown_result(sys, order[i], opts, UnknownReason::EngineFault))
+        })
         .collect();
     report
 }
@@ -611,10 +734,7 @@ fn run_incremental(
                 mine
             }));
         }
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("worker thread panicked"))
-            .collect()
+        join_workers(handles, &opts.journal)
     })
 }
 
@@ -663,10 +783,7 @@ fn run_cold_fifo(
                 }
             }));
         }
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("worker thread panicked"))
-            .collect()
+        join_workers(handles, &opts.journal)
     })
 }
 
@@ -734,40 +851,61 @@ fn run_joint(sys: &TransitionSystem, opts: &JointOptions, plan: &Plan) -> MultiR
         let budget = with_deadline(opts.ic3.budget);
         let (agg, agg_id) = aggregate_system(sys, &remaining);
 
-        // Optional BMC front-end for shallow refutations. A front-end
-        // that runs out of budget must NOT decide the verdict: unless
-        // the total deadline is actually spent, control falls through
-        // to IC3.
-        let mut outcome = None;
-        if let Some(depth) = opts.bmc_depth {
-            let _bmc_span = opts.journal.span(Phase::BmcFrontend);
-            let bmc_budget = match opts.bmc_conflicts {
-                Some(n) => with_deadline(Budget::conflicts(n)),
-                None => budget,
-            };
-            let mut bmc = Bmc::with_backend(&agg, opts.backend);
-            bmc.set_journal(opts.journal.clone());
-            match bmc.run(&[agg_id], depth, bmc_budget) {
-                BmcResult::Cex { cex, .. } => {
-                    outcome = Some(CheckOutcome::Falsified(cex));
-                }
-                BmcResult::NoCexUpTo(_) => {}
-                BmcResult::Unknown(r) => {
-                    if deadline.is_some_and(|d| Instant::now() >= d) {
-                        outcome = Some(CheckOutcome::Unknown(r));
+        // The whole BMC+IC3 attempt runs under `catch_unwind`: a
+        // panicking engine degrades this iteration's remaining
+        // properties to EngineFault (drained by the Unknown arm below)
+        // instead of tearing the session down.
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            japrove_obs::fault::fire("joint_attempt", sys.name());
+            // Optional BMC front-end for shallow refutations. A
+            // front-end that runs out of budget must NOT decide the
+            // verdict: unless the total deadline is actually spent,
+            // control falls through to IC3.
+            let mut outcome = None;
+            if let Some(depth) = opts.bmc_depth {
+                let _bmc_span = opts.journal.span(Phase::BmcFrontend);
+                let bmc_budget = match opts.bmc_conflicts {
+                    Some(n) => with_deadline(Budget::conflicts(n)),
+                    None => budget,
+                };
+                let mut bmc = Bmc::with_backend(&agg, opts.backend);
+                bmc.set_journal(opts.journal.clone());
+                match bmc.run(&[agg_id], depth, bmc_budget) {
+                    BmcResult::Cex { cex, .. } => {
+                        outcome = Some(CheckOutcome::Falsified(cex));
+                    }
+                    BmcResult::NoCexUpTo(_) => {}
+                    BmcResult::Unknown(r) => {
+                        if deadline.is_some_and(|d| Instant::now() >= d) {
+                            outcome = Some(CheckOutcome::Unknown(r));
+                        }
                     }
                 }
             }
-        }
-        let (outcome, frames, stats) = match outcome {
-            Some(o) => (o, 0, RunStats::default()),
-            None => {
-                let _joint_span = opts.journal.span(Phase::JointAttempt);
-                let ic3_opts = opts.ic3.budget(budget).backend(opts.backend);
-                let mut engine = Ic3::new(&agg, agg_id, ic3_opts);
-                engine.set_journal(opts.journal.clone());
-                let o = engine.run();
-                (o, engine.stats().frames, *engine.stats())
+            match outcome {
+                Some(o) => (o, 0, RunStats::default()),
+                None => {
+                    let _joint_span = opts.journal.span(Phase::JointAttempt);
+                    let ic3_opts = opts.ic3.budget(budget).backend(opts.backend);
+                    let mut engine = Ic3::new(&agg, agg_id, ic3_opts);
+                    engine.set_journal(opts.journal.clone());
+                    let o = engine.run();
+                    (o, engine.stats().frames, *engine.stats())
+                }
+            }
+        }));
+        let (outcome, frames, stats) = match attempt {
+            Ok(triple) => triple,
+            Err(payload) => {
+                opts.journal.event(EventKind::Fault {
+                    site: "joint_attempt".into(),
+                    detail: format!("{}: {}", sys.name(), panic_detail(payload.as_ref())),
+                });
+                (
+                    CheckOutcome::Unknown(UnknownReason::EngineFault),
+                    0,
+                    RunStats::default(),
+                )
             }
         };
 
@@ -906,12 +1044,27 @@ fn run_clustered(
                     mine
                 }));
             }
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("worker thread panicked"))
-                .collect()
+            join_workers(handles, journal)
         });
         results.extend(solved);
+    }
+    // A worker that died of an uncontained panic takes its cluster's
+    // pending results with it; degrade those properties to
+    // EngineFault so the report stays complete and the run never
+    // aborts.
+    let mut have = vec![false; sys.num_properties()];
+    for r in &results {
+        have[r.id.index()] = true;
+    }
+    for &id in &plan.order {
+        if !have[id.index()] {
+            results.push(unknown_result(
+                sys,
+                id,
+                &opts.separate,
+                UnknownReason::EngineFault,
+            ));
+        }
     }
     // Clusters partition the property set; restore declaration order
     // for comparability with the other drivers.

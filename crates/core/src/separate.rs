@@ -6,8 +6,10 @@
 //! with or without clause re-use.
 
 use crate::{ClauseDb, MultiReport, PropertyResult, Scope};
-use japrove_ic3::{CheckOutcome, ClauseSource, Ic3Options, Lifting, SolverCtx, TsEncoding};
-use japrove_obs::{Journal, Phase};
+use japrove_ic3::{
+    CheckOutcome, ClauseSource, Ic3Options, Lifting, SolverCtx, TsEncoding, UnknownReason,
+};
+use japrove_obs::{EventKind, Journal, Phase};
 use japrove_sat::{BackendChoice, Budget};
 use japrove_tsys::{replay, Expectation, PropertyId, TransitionSystem};
 use std::sync::Arc;
@@ -61,6 +63,15 @@ impl CtxPool {
         };
         &mut self.ctxs[i]
     }
+
+    /// Drops the context for `backend`. Called after a caught panic:
+    /// the context's solver state may be mid-mutation (poisoned in
+    /// spirit, even where no mutex is involved), so the next
+    /// [`CtxPool::get`] rebuilds a fresh one over the shared encoding —
+    /// the encoding itself is immutable and stays warm.
+    pub(crate) fn discard(&mut self, backend: BackendChoice) {
+        self.ctxs.retain(|c| c.backend() != backend);
+    }
 }
 
 /// Options for separate verification.
@@ -89,6 +100,19 @@ pub struct SeparateOptions {
     pub per_property: Option<Duration>,
     /// Total wall-clock limit for the whole benchmark.
     pub total: Option<Duration>,
+    /// Soft per-property watchdog: a check exceeding it comes back
+    /// `Unknown(Budget)` and is re-queued by the supervision layer at
+    /// lower priority with an escalated (doubled) budget, up to
+    /// [`SeparateOptions::retries`] times, before settling on Unknown.
+    /// Unlike [`SeparateOptions::per_property`], which is the paper's
+    /// hard per-property limit, this one buys the property another
+    /// chance.
+    pub property_timeout: Option<Duration>,
+    /// Supervised retries for a faulted (engine panic) or
+    /// watchdog-timed-out property: each retry runs after every other
+    /// property, on a fresh cold context, with a doubled
+    /// `property_timeout`.
+    pub retries: usize,
     /// Base engine options.
     pub ic3: Ic3Options,
     /// Property order; `None` uses declaration order (the paper's
@@ -114,6 +138,8 @@ impl SeparateOptions {
             lifting: Lifting::Ignore,
             per_property: None,
             total: None,
+            property_timeout: None,
+            retries: 1,
             ic3: Ic3Options::new(),
             order: None,
             backend: BackendChoice::default(),
@@ -140,6 +166,20 @@ impl SeparateOptions {
     /// Sets the total time limit.
     pub fn total_timeout(mut self, d: Duration) -> Self {
         self.total = Some(d);
+        self
+    }
+
+    /// Sets the soft per-property watchdog (see
+    /// [`SeparateOptions::property_timeout`]).
+    pub fn watchdog(mut self, d: Duration) -> Self {
+        self.property_timeout = Some(d);
+        self
+    }
+
+    /// Sets the supervised retry count for faulted or watchdog-timed-
+    /// out properties.
+    pub fn retries(mut self, n: usize) -> Self {
+        self.retries = n;
         self
     }
 
@@ -259,8 +299,57 @@ pub(crate) fn check_one(
 /// cluster-scoped store eagerly while refreshing from a two-level
 /// source. The caller is responsible for only supplying clauses that
 /// are sound for the proof scope in `opts` (§6-B).
+///
+/// The whole check runs under `catch_unwind`: an engine panic (or an
+/// injected chaos panic at the `check_one` fault site) degrades *this
+/// property* to `Unknown(EngineFault)`, journals the panic payload as
+/// a `fault` event, discards the worker's possibly-corrupted solver
+/// context — the next check rebuilds a fresh one over the still-warm
+/// shared encoding — and the run continues.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn check_one_imports(
+    sys: &TransitionSystem,
+    id: PropertyId,
+    assumed: &[PropertyId],
+    imported: Vec<japrove_logic::Clause>,
+    source: Option<(&dyn ClauseSource, u64)>,
+    opts: &SeparateOptions,
+    deadline: Option<Instant>,
+    pool: &mut CtxPool,
+) -> PropertyResult {
+    let started = Instant::now();
+    let name = sys.property(id).name.clone();
+    let backend = opts.backend_of(id);
+    let checked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        check_one_unguarded(sys, id, assumed, imported, source, opts, deadline, pool)
+    }));
+    match checked {
+        Ok(result) => result,
+        Err(payload) => {
+            pool.discard(backend);
+            opts.journal.event(EventKind::Fault {
+                site: "check_one".into(),
+                detail: format!("{name}: {}", crate::pipeline::panic_detail(&payload)),
+            });
+            PropertyResult {
+                id,
+                name,
+                outcome: CheckOutcome::Unknown(UnknownReason::EngineFault),
+                scope: opts.scope,
+                time: started.elapsed(),
+                frames: 0,
+                retried: false,
+                backend,
+                stats: Default::default(),
+                cached: false,
+            }
+        }
+    }
+}
+
+/// The body of [`check_one_imports`], without the supervision wrapper.
+#[allow(clippy::too_many_arguments)]
+fn check_one_unguarded(
     sys: &TransitionSystem,
     id: PropertyId,
     assumed: &[PropertyId],
@@ -274,9 +363,12 @@ pub(crate) fn check_one_imports(
     let _span = opts
         .journal
         .span_labeled(Phase::Property, sys.property(id).name.as_str());
+    japrove_obs::fault::fire("check_one", &sys.property(id).name);
     let mut budget = Budget::unlimited();
-    if let Some(d) = opts.per_property {
-        budget = budget.with_timeout(d);
+    match (opts.per_property, opts.property_timeout) {
+        (Some(a), Some(b)) => budget = budget.with_timeout(a.min(b)),
+        (Some(d), None) | (None, Some(d)) => budget = budget.with_timeout(d),
+        (None, None) => {}
     }
     if let Some(d) = deadline {
         budget = budget.with_deadline(d);

@@ -34,6 +34,7 @@
 //! error. `unknown` verdicts are never cached.
 
 use japrove_obs::json::Value;
+use japrove_obs::persist;
 use std::io;
 use std::path::Path;
 
@@ -145,11 +146,11 @@ pub struct VerdictCache {
 }
 
 impl VerdictCache {
-    /// Loads a cache from a JSONL file, skipping malformed or stale
-    /// lines; returns the cache and the number of skipped lines. A
-    /// missing file is an empty cache (first run). Like the feature
-    /// store's lossy loader, a half-corrupted cache degrades to misses,
-    /// never a panic.
+    /// Loads a cache from a JSONL file, skipping malformed, stale or
+    /// checksum-failing lines; returns the cache and the number of
+    /// skipped lines. A missing file is an empty cache (first run).
+    /// Like the feature store's lossy loader, a half-corrupted cache
+    /// degrades to misses, never a panic.
     pub fn load_lossy(path: impl AsRef<Path>) -> Result<(VerdictCache, usize), io::Error> {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
@@ -164,8 +165,9 @@ impl VerdictCache {
             if line.trim().is_empty() {
                 continue;
             }
-            match Value::parse(line)
+            match persist::decode_line(line)
                 .ok()
+                .and_then(|body| Value::parse(body).ok())
                 .and_then(|v| CacheEntry::from_json(&v))
             {
                 Some(entry) => cache.upsert(entry),
@@ -175,14 +177,16 @@ impl VerdictCache {
         Ok((cache, skipped))
     }
 
-    /// Writes the cache back as JSONL, one entry per line.
+    /// Writes the cache back as JSONL, one checksummed entry per line,
+    /// through [`persist::atomic_write`] — a crash between saves leaves
+    /// either the old or the new complete cache, never a torn file.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), io::Error> {
         let mut out = String::new();
         for e in &self.entries {
-            out.push_str(&e.to_json().to_string());
+            out.push_str(&persist::encode_line(&e.to_json().to_string()));
             out.push('\n');
         }
-        std::fs::write(path, out)
+        persist::atomic_write(path, &out, "verdict_cache_save")
     }
 
     /// Inserts `entry`, replacing any existing entry with the same
@@ -281,6 +285,26 @@ mod tests {
         let (cache, skipped) = VerdictCache::load_lossy(&path).unwrap();
         assert_eq!(cache.len(), 1);
         assert_eq!(skipped, 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_checksummed_lines_are_skipped() {
+        let dir = std::env::temp_dir().join(format!("japrove_vcache_torn_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.jsonl");
+        let mut cache = VerdictCache::default();
+        cache.upsert(entry("p0", "holds"));
+        cache.upsert(entry("p1", "fails"));
+        cache.save(&path).unwrap();
+        // Tear the file mid-way through the last line, like a crashed
+        // legacy (non-atomic) writer would have.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 20]).unwrap();
+        let (loaded, skipped) = VerdictCache::load_lossy(&path).unwrap();
+        assert_eq!(skipped, 1, "the torn line is skipped, not fatal");
+        assert_eq!(loaded.len(), 1);
+        assert!(loaded.get("0123456789abcdef", "p0").is_some());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -310,10 +310,10 @@ mod tests {
 
     impl ClauseSource for VecSource {
         fn version(&self) -> u64 {
-            self.0.lock().unwrap().0
+            self.0.lock().unwrap_or_else(|p| p.into_inner()).0
         }
         fn clauses(&self) -> Vec<Clause> {
-            self.0.lock().unwrap().1.clone()
+            self.0.lock().unwrap_or_else(|p| p.into_inner()).1.clone()
         }
     }
 

@@ -52,6 +52,11 @@ pub enum UnknownReason {
     /// falsified no queried property. Drivers report this instead of
     /// crashing so one bad trace cannot take down a serving process.
     SpuriousCex,
+    /// The engine panicked mid-check and the panic was contained by the
+    /// pipeline's supervision layer. Only this property degrades; the
+    /// worker's solver context is discarded and rebuilt, and the run
+    /// continues.
+    EngineFault,
 }
 
 impl fmt::Display for UnknownReason {
@@ -60,6 +65,7 @@ impl fmt::Display for UnknownReason {
             UnknownReason::Budget => write!(f, "budget exhausted"),
             UnknownReason::FrameLimit => write!(f, "frame limit reached"),
             UnknownReason::SpuriousCex => write!(f, "spurious counterexample"),
+            UnknownReason::EngineFault => write!(f, "engine fault"),
         }
     }
 }

@@ -200,6 +200,17 @@ pub enum EventKind {
         /// Clauses actually added (not already imported).
         added: usize,
     },
+    /// A contained fault: an engine panic caught by the supervision
+    /// layer, a worker thread lost mid-run, or an injected chaos
+    /// action. The run continues; this record is the audit trail (and
+    /// what the chaos-smoke CI job greps for).
+    Fault {
+        /// The named site the fault surfaced at (`check_one`,
+        /// `joint_attempt`, `worker`, …).
+        site: String,
+        /// Human-readable detail: the panic payload or injection note.
+        detail: String,
+    },
     /// Per-kind provenance of one mining pass: how many candidates of
     /// one taxonomy kind (`const`, `equiv`, `implication`, `one_hot`,
     /// `range`) were generated and where each was retired. Invariant:
@@ -233,6 +244,7 @@ impl EventKind {
             EventKind::Frame { .. } => "frame",
             EventKind::Unroll { .. } => "unroll",
             EventKind::Import { .. } => "import",
+            EventKind::Fault { .. } => "fault",
             EventKind::Mined { .. } => "mined",
         }
     }
@@ -317,6 +329,10 @@ impl Event {
                 pairs.push(("offered".into(), int(*offered as u64)));
                 pairs.push(("added".into(), int(*added as u64)));
             }
+            EventKind::Fault { site, detail } => {
+                pairs.push(("site".into(), Value::Str(site.clone())));
+                pairs.push(("detail".into(), Value::Str(detail.clone())));
+            }
             EventKind::Mined {
                 kind,
                 generated,
@@ -398,6 +414,18 @@ impl Event {
                 offered: usize_field("offered")?,
                 added: usize_field("added")?,
             },
+            "fault" => {
+                let text = |name: &'static str| {
+                    v.get(name)
+                        .and_then(Value::as_str)
+                        .map(str::to_string)
+                        .ok_or(SchemaError::MissingField(name))
+                };
+                EventKind::Fault {
+                    site: text("site")?,
+                    detail: text("detail")?,
+                }
+            }
             "mined" => EventKind::Mined {
                 kind: v
                     .get("kind")
@@ -882,6 +910,10 @@ mod tests {
             j.event(EventKind::Import {
                 offered: 40,
                 added: 13,
+            });
+            j.event(EventKind::Fault {
+                site: "check_one".into(),
+                detail: "injected fault at check_one (p0)".into(),
             });
             j.event(EventKind::Mined {
                 kind: "equiv".into(),

@@ -16,6 +16,13 @@
 //! * [`FeatureStore`] / [`RunRecord`] — persistent per-(design,
 //!   property) cost records across runs: the substrate for learned
 //!   scheduling.
+//! * [`fault`] — the deterministic fault-injection harness: a seeded
+//!   [`FaultPlan`](fault::FaultPlan) injects panics, delays and torn
+//!   store writes at named sites, so chaos behavior reproduces in
+//!   tests and CI.
+//! * [`persist`] — checksummed-line atomic JSONL writes, shared by the
+//!   feature store and the verdict cache: a crash between saves never
+//!   yields an unreadable store.
 //!
 //! This crate depends on nothing but `std`, so every other crate in
 //! the workspace can report into it.
@@ -39,9 +46,11 @@
 //! assert_eq!(parsed, journal.events());
 //! ```
 
+pub mod fault;
 pub mod journal;
 pub mod json;
 pub mod metrics;
+pub mod persist;
 pub mod record;
 
 pub use journal::{Event, EventKind, Journal, Phase, SchemaError, SpanGuard, SAMPLE_INTERVAL};

@@ -10,6 +10,7 @@
 //! diff, merge and grep cleanly.
 
 use crate::json::Value;
+use crate::persist;
 use std::fmt;
 use std::io;
 use std::path::Path;
@@ -97,6 +98,8 @@ pub enum StoreError {
     Io(io::Error),
     /// A line is not valid JSON.
     Json(usize, String),
+    /// A line's CRC-32 prefix does not match its body.
+    Checksum(usize),
     /// A record is missing or mistypes a field (named).
     Field(&'static str),
 }
@@ -106,6 +109,9 @@ impl fmt::Display for StoreError {
         match self {
             StoreError::Io(e) => write!(f, "feature store I/O error: {e}"),
             StoreError::Json(line, e) => write!(f, "feature store line {line}: {e}"),
+            StoreError::Checksum(line) => {
+                write!(f, "feature store line {line}: checksum mismatch")
+            }
             StoreError::Field(name) => write!(f, "feature store record: bad field '{name}'"),
         }
     }
@@ -162,30 +168,33 @@ impl FeatureStore {
             if line.trim().is_empty() {
                 continue;
             }
-            let v = Value::parse(line).map_err(|e| StoreError::Json(i + 1, e.to_string()))?;
+            let body = persist::decode_line(line).map_err(|_| StoreError::Checksum(i + 1))?;
+            let v = Value::parse(body).map_err(|e| StoreError::Json(i + 1, e.to_string()))?;
             store.upsert(RunRecord::from_json(&v)?);
         }
         Ok(store)
     }
 
-    /// Writes the store back as JSONL, one record per line.
+    /// Writes the store back as JSONL, one checksummed record per line,
+    /// through [`persist::atomic_write`] — a crash between saves leaves
+    /// either the old or the new complete store, never a torn file.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), StoreError> {
         let mut out = String::new();
         for r in &self.records {
-            out.push_str(&r.to_json().to_string());
+            out.push_str(&persist::encode_line(&r.to_json().to_string()));
             out.push('\n');
         }
-        std::fs::write(path, out)?;
+        persist::atomic_write(path, &out, "feature_store_save")?;
         Ok(())
     }
 
     /// Loads a store, skipping (instead of rejecting) malformed or
-    /// stale lines: lines that are not valid JSON, records missing or
-    /// mistyping a field, and records whose verdict is not one of
-    /// `holds`/`fails`/`unknown`. Returns the store together with the
-    /// number of skipped lines, so callers can surface a counted
-    /// warning — a half-corrupted store from a crashed run must never
-    /// take the scheduler down with it.
+    /// stale lines: lines failing their checksum, lines that are not
+    /// valid JSON, records missing or mistyping a field, and records
+    /// whose verdict is not one of `holds`/`fails`/`unknown`. Returns
+    /// the store together with the number of skipped lines, so callers
+    /// can surface a counted warning — a half-corrupted store from a
+    /// crashed run must never take the scheduler down with it.
     pub fn load_lossy(path: impl AsRef<Path>) -> Result<(FeatureStore, usize), StoreError> {
         let text = match std::fs::read_to_string(path) {
             Ok(t) => t,
@@ -200,8 +209,9 @@ impl FeatureStore {
             if line.trim().is_empty() {
                 continue;
             }
-            match Value::parse(line)
+            match persist::decode_line(line)
                 .ok()
+                .and_then(|body| Value::parse(body).ok())
                 .and_then(|v| RunRecord::from_json(&v).ok())
             {
                 Some(record) => store.upsert(record),
@@ -297,6 +307,36 @@ mod tests {
         store.save(&path).unwrap();
         let loaded = FeatureStore::load(&path).unwrap();
         assert_eq!(loaded, store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn saved_lines_are_checksummed_and_corruption_is_caught() {
+        let dir = std::env::temp_dir().join(format!("japrove_store_crc_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.jsonl");
+        let mut store = FeatureStore::default();
+        store.upsert(record("p0", "ja", 100));
+        store.upsert(record("p1", "ja", 250));
+        store.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.lines().all(|l| l.as_bytes()[8] == b' '),
+            "every saved line carries a crc prefix"
+        );
+        // Flip a byte inside the second line's body: strict load names
+        // the line, lossy load skips it and keeps the rest.
+        std::fs::write(
+            &path,
+            text.replacen("\"time_us\":250", "\"time_us\":999", 1),
+        )
+        .unwrap();
+        match FeatureStore::load(&path) {
+            Err(StoreError::Checksum(2)) => {}
+            other => panic!("expected a checksum error on line 2, got {other:?}"),
+        }
+        let (lossy, skipped) = FeatureStore::load_lossy(&path).unwrap();
+        assert_eq!((lossy.len(), skipped), (1, 1));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -44,6 +44,13 @@ OPTIONS:
                               [default: cdcl]
     --per-property <SECS>     time limit per property
     --total <SECS>            time limit for the whole design
+    --property-timeout <SECS> soft per-property watchdog: a check that
+                              exceeds it is re-queued after every other
+                              property with a doubled budget before the
+                              unknown verdict sticks
+    --retries <N>             supervised retry attempts for a faulted
+                              (engine panic) or watchdog-timed-out
+                              property [default: 1]
     --lifting <ignore|respect> state-lifting mode (§7-A) [default: ignore]
     --no-reuse                disable clause re-use (§6)
     --gen <family>            verify a generated benchmark design (by
@@ -69,6 +76,12 @@ OPTIONS:
                               instead of re-solving
     --check-trace <FILE>      validate a JSONL trace against the event
                               schema and exit
+    --fault-plan <SPEC>       deterministic fault injection: ';'-separated
+                              clauses panic@SITE:RATE, delay@SITE:RATE:MILLIS
+                              or truncate@SITE:RATE:BYTES (sites: check_one,
+                              joint_attempt, feature_store_save,
+                              verdict_cache_save)
+    --fault-seed <N>          seed for --fault-plan decisions [default: 0]
     --witness-dir <DIR>       write AIGER witnesses for failing properties
     --validate                re-check the debugging-set guarantees
     -q, --quiet               only print the summary line
@@ -98,6 +111,10 @@ struct Cli {
     backend: BackendChoice,
     per_property: Option<Duration>,
     total: Option<Duration>,
+    property_timeout: Option<Duration>,
+    retries: Option<usize>,
+    fault_plan: Option<String>,
+    fault_seed: u64,
     lifting: Lifting,
     reuse: bool,
     trace_out: Option<String>,
@@ -125,6 +142,10 @@ fn parse_args() -> Result<Cli, String> {
         backend: BackendChoice::default(),
         per_property: None,
         total: None,
+        property_timeout: None,
+        retries: None,
+        fault_plan: None,
+        fault_seed: 0,
         lifting: Lifting::Ignore,
         reuse: true,
         trace_out: None,
@@ -171,6 +192,29 @@ fn parse_args() -> Result<Cli, String> {
                     .parse()
                     .map_err(|_| "invalid --total".to_string())?;
                 cli.total = Some(Duration::from_secs_f64(secs));
+            }
+            "--property-timeout" => {
+                let secs: f64 = value("--property-timeout")?
+                    .parse()
+                    .ok()
+                    .filter(|&s: &f64| s > 0.0 && s.is_finite())
+                    .ok_or_else(|| {
+                        "invalid --property-timeout (need seconds as a positive number, \
+                         e.g. --property-timeout 2.5)"
+                            .to_string()
+                    })?;
+                cli.property_timeout = Some(Duration::from_secs_f64(secs));
+            }
+            "--retries" => {
+                cli.retries = Some(value("--retries")?.parse().map_err(|_| {
+                    "invalid --retries (need an integer >= 0, e.g. --retries 2)".to_string()
+                })?)
+            }
+            "--fault-plan" => cli.fault_plan = Some(value("--fault-plan")?),
+            "--fault-seed" => {
+                cli.fault_seed = value("--fault-seed")?.parse().map_err(|_| {
+                    "invalid --fault-seed (need an integer, e.g. --fault-seed 7)".to_string()
+                })?
             }
             "--lifting" => {
                 cli.lifting = match value("--lifting")?.as_str() {
@@ -259,6 +303,12 @@ fn run(cli: &Cli, journal: &Journal) -> Result<(MultiReport, TransitionSystem), 
     }
     if let Some(d) = cli.total {
         sep = sep.total_timeout(d);
+    }
+    if let Some(d) = cli.property_timeout {
+        sep = sep.watchdog(d);
+    }
+    if let Some(n) = cli.retries {
+        sep = sep.retries(n);
     }
     let mut joint = JointOptions::new()
         .backend(cli.backend)
@@ -505,6 +555,22 @@ fn main() -> ExitCode {
     };
     if let Some(path) = &cli.check_trace {
         return check_trace(path);
+    }
+
+    // Arm the chaos harness: an explicit --fault-plan wins over the
+    // JAPROVE_FAULT_PLAN env bootstrap (which reaches processes that
+    // grew no flag, like the benches).
+    let plan = match &cli.fault_plan {
+        Some(spec) => japrove::obs::fault::FaultPlan::parse(spec, cli.fault_seed).map(Some),
+        None => japrove::obs::fault::FaultPlan::from_env(),
+    };
+    match plan {
+        Ok(Some(plan)) => japrove::obs::fault::install(plan),
+        Ok(None) => {}
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
     }
 
     // A journal costs one pointer check per call when disabled; only

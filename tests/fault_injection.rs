@@ -1,0 +1,216 @@
+//! The fault-tolerance pillar, end to end: a chaos run with injected
+//! engine panics must (a) complete instead of aborting, (b) agree with
+//! the clean run on every non-faulted property, (c) degrade exactly
+//! the planned faults to `Unknown(EngineFault)` after the supervised
+//! retry, and (d) survive torn store writes with a lossy load.
+//!
+//! The fault registry is process-global, so every test that arms it
+//! goes through [`with_plan`], which serializes on a mutex and clears
+//! the registry afterwards — a poisoned lock (a failing sibling test)
+//! must not cascade, so the guard recovers with `into_inner`.
+
+use japrove::core::{
+    CacheEntry, ClusteredOptions, PropertyResult, SeparateOptions, Session, VerdictCache,
+};
+use japrove::genbench::FamilyParams;
+use japrove::ic3::{CheckOutcome, UnknownReason};
+use japrove::obs::fault::{self, FaultPlan};
+use japrove::obs::{EventKind, Journal};
+use std::sync::Mutex;
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with `plan` armed, serialized against the other chaos
+/// tests, clearing the registry on the way out (also when `f` itself
+/// panics mid-assertion, via the drop guard).
+fn with_plan<T>(plan: FaultPlan, f: impl FnOnce() -> T) -> T {
+    struct Disarm;
+    impl Drop for Disarm {
+        fn drop(&mut self) {
+            fault::clear();
+        }
+    }
+    let _serial = FAULT_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    fault::install(plan);
+    let _disarm = Disarm;
+    f()
+}
+
+/// A mixed 22-property family: provable chains and ring invariants,
+/// trivially-true monitors and two shallow failures, so the chaos run
+/// exercises holds, fails *and* certificate lifting.
+fn mixed_design() -> japrove::tsys::TransitionSystem {
+    FamilyParams::new("chaos_mix", 3)
+        .easy_true(8)
+        .ring(4, 6)
+        .chain(3, 10)
+        .shallow_fails(vec![2, 3])
+        .generate()
+        .sys
+}
+
+fn engine_faulted(r: &PropertyResult) -> bool {
+    matches!(r.outcome, CheckOutcome::Unknown(UnknownReason::EngineFault))
+}
+
+fn fault_events(journal: &Journal) -> usize {
+    journal
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Fault { .. }))
+        .count()
+}
+
+/// The headline chaos test: an 8-thread clustered run with ~10%
+/// injected `check_one` panics completes, matches the clean run on
+/// every non-faulted property, and degrades exactly the planned
+/// faults — deterministically, because fault decisions hash the
+/// property name, never thread interleaving or arrival order.
+#[test]
+fn chaos_clustered_run_completes_and_preserves_unfaulted_verdicts() {
+    let sys = mixed_design();
+    // The cluster-level joint attempt can settle a whole cluster before
+    // any member reaches the per-property `check_one` fault site; it is
+    // disabled here so the planned fault set below is exact, not an
+    // over-approximation.
+    let clustered = |journal: &Journal| {
+        ClusteredOptions::new()
+            .separate(SeparateOptions::global().journal(journal.clone()))
+            .cluster_joint(false)
+            .journal(journal.clone())
+    };
+
+    let clean_journal = Journal::new();
+    let clean = with_plan(FaultPlan::parse("", 0).unwrap(), || {
+        Session::clustered(clustered(&clean_journal), 8).run(&sys)
+    });
+    assert_eq!(
+        fault_events(&clean_journal),
+        0,
+        "clean run journals no faults"
+    );
+
+    let plan = FaultPlan::parse("panic@check_one:0.1", 1).unwrap();
+    let planned: Vec<String> = clean
+        .results
+        .iter()
+        .map(|r| r.name.clone())
+        .filter(|name| plan.decides("check_one", name, "panic", 0.1))
+        .collect();
+    assert!(
+        !planned.is_empty(),
+        "seed 1 must fault at least one of the 22 properties"
+    );
+    assert!(
+        planned.len() < clean.results.len(),
+        "and must leave unfaulted properties to compare"
+    );
+
+    let chaos_journal = Journal::new();
+    let chaos = with_plan(plan, || {
+        Session::clustered(clustered(&chaos_journal), 8).run(&sys)
+    });
+
+    assert_eq!(chaos.results.len(), clean.results.len(), "never aborts");
+    for r in &chaos.results {
+        let reference = clean.result(r.id).expect("same property set");
+        if planned.contains(&r.name) {
+            assert!(engine_faulted(r), "{} settles on EngineFault", r.name);
+            assert!(r.retried, "{} was retried before settling", r.name);
+        } else {
+            assert_eq!(r.holds(), reference.holds(), "{} verdict flipped", r.name);
+            assert_eq!(r.fails(), reference.fails(), "{} verdict flipped", r.name);
+            assert!(!engine_faulted(r), "{} faulted off-plan", r.name);
+        }
+    }
+    // Each planned fault panics on the first attempt and again on its
+    // supervised retry (decisions are attempt-independent), and both
+    // containments are journaled.
+    assert!(
+        fault_events(&chaos_journal) >= 2 * planned.len(),
+        "every containment is journaled"
+    );
+}
+
+/// At rate 1.0 every property faults: the sequential driver retries
+/// each once on a fresh cold context (journaling both containments)
+/// and the whole report settles on `Unknown(EngineFault)` — the run
+/// still never aborts.
+#[test]
+fn total_chaos_settles_every_property_after_one_retry() {
+    let sys = FamilyParams::new("chaos_total", 5)
+        .easy_true(3)
+        .generate()
+        .sys;
+    let journal = Journal::new();
+    let report = with_plan(FaultPlan::parse("panic@check_one:1.0", 9).unwrap(), || {
+        Session::separate(SeparateOptions::local().journal(journal.clone())).run(&sys)
+    });
+    assert_eq!(report.results.len(), 3);
+    for r in &report.results {
+        assert!(engine_faulted(r), "{}", r.name);
+        assert!(r.retried, "{}", r.name);
+    }
+    // retries = 1 (the default): first attempt + exactly one retry.
+    assert_eq!(fault_events(&journal), 2 * 3);
+}
+
+/// `--retries 0` opts out of supervision: the fault is still contained
+/// (the run completes) but nothing is re-attempted.
+#[test]
+fn zero_retries_contains_without_reattempting() {
+    let sys = FamilyParams::new("chaos_noretry", 5)
+        .easy_true(2)
+        .generate()
+        .sys;
+    let journal = Journal::new();
+    let report = with_plan(FaultPlan::parse("panic@check_one:1.0", 9).unwrap(), || {
+        Session::separate(SeparateOptions::local().journal(journal.clone()).retries(0)).run(&sys)
+    });
+    for r in &report.results {
+        assert!(engine_faulted(r), "{}", r.name);
+        assert!(!r.retried, "{}", r.name);
+    }
+    assert_eq!(fault_events(&journal), 2, "one containment per property");
+}
+
+/// A torn verdict-cache write (injected at the `verdict_cache_save`
+/// site, simulating a crash mid-save under the legacy non-atomic
+/// writer) is skipped by the lossy loader with a count — verdicts
+/// degrade to cache misses, never a crash or an unreadable store.
+#[test]
+fn injected_store_truncation_degrades_to_a_lossy_load() {
+    let dir = std::env::temp_dir().join(format!("japrove_chaos_store_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("cache.jsonl");
+
+    let mut cache = VerdictCache::default();
+    for p in ["p0", "p1"] {
+        cache.upsert(CacheEntry {
+            cone: "00000000deadbeef".into(),
+            property: p.into(),
+            verdict: "holds".into(),
+            clauses: vec![vec![1, -2]],
+            inputs: vec![],
+            depth: 0,
+        });
+    }
+    with_plan(
+        FaultPlan::parse("truncate@verdict_cache_save:1.0:40", 0).unwrap(),
+        || cache.save(&path).unwrap(),
+    );
+    let torn = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(torn.len(), 40, "the injected write is torn mid-line");
+
+    let (loaded, skipped) = VerdictCache::load_lossy(&path).unwrap();
+    assert!(skipped >= 1, "the torn tail is counted, not fatal");
+    assert!(loaded.len() < cache.len());
+
+    // With the harness disarmed the same save is atomic and checksummed
+    // again, and round-trips losslessly.
+    cache.save(&path).unwrap();
+    let (reloaded, skipped) = VerdictCache::load_lossy(&path).unwrap();
+    assert_eq!(skipped, 0);
+    assert_eq!(reloaded.len(), cache.len());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
