@@ -60,6 +60,7 @@ mod cluster;
 mod clustered;
 mod costmodel;
 mod debug_set;
+mod enumerate;
 mod joint;
 mod mine;
 mod parallel;
@@ -77,6 +78,9 @@ pub use cluster::{cluster_properties, grouped_verify, GroupingOptions};
 pub use clustered::{clustered_verify, parallel_clustered_verify, ClusteredOptions};
 pub use costmodel::CostModel;
 pub use debug_set::{check_local_global_agreement, validate_debugging_set, verify_reuse_soundness};
+pub use enumerate::{
+    enumerate_report, CountEstimate, EnumOptions, EnumeratedCex, Projection, PropertyEnumeration,
+};
 pub use joint::{joint_verify, JointOptions};
 pub use mine::{mine_verify, MinedVerification};
 pub use parallel::{parallel_ja_verify, parallel_ja_verify_with, ParallelMode};

@@ -183,6 +183,7 @@ pub struct Session {
     schedule: SchedulePolicy,
     cost_model: Option<CostModel>,
     cache: Option<VerdictCache>,
+    enumeration: Option<crate::EnumOptions>,
 }
 
 impl Session {
@@ -217,7 +218,17 @@ impl Session {
             schedule: SchedulePolicy::default(),
             cost_model: None,
             cache: None,
+            enumeration: None,
         }
+    }
+
+    /// Attaches a post-verdict enumeration/counting pass: after the
+    /// Report stage (including supervision retries), every falsified
+    /// property is enumerated and/or counted per `opts`, and the
+    /// outcomes land in [`MultiReport::enumerations`].
+    pub fn enumeration(mut self, opts: crate::EnumOptions) -> Session {
+        self.enumeration = Some(opts);
+        self
     }
 
     /// Sets the schedule policy (parallel and clustered kinds).
@@ -427,6 +438,9 @@ impl Session {
                     cache_store(sys, r, cache);
                 }
             }
+        }
+        if let Some(opts) = &self.enumeration {
+            report.enumerations = crate::enumerate_report(sys, &report, opts);
         }
         report.total_time = started.elapsed();
         report

@@ -91,6 +91,10 @@ pub struct MultiReport {
     pub method: String,
     /// Per-property results.
     pub results: Vec<PropertyResult>,
+    /// Post-verdict enumeration/counting outcomes (one per falsified
+    /// property; empty unless the session ran with
+    /// [`EnumOptions`](crate::EnumOptions)).
+    pub enumerations: Vec<crate::PropertyEnumeration>,
     /// Total wall-clock time.
     pub total_time: Duration,
 }
@@ -102,6 +106,7 @@ impl MultiReport {
             design: design.into(),
             method: method.into(),
             results: Vec::new(),
+            enumerations: Vec::new(),
             total_time: Duration::ZERO,
         }
     }

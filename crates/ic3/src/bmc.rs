@@ -32,6 +32,19 @@ impl BmcResult {
     }
 }
 
+/// The result of one [`Bmc::enumerate_at`] round: the distinct
+/// counterexamples found, each with its projection-set assignment.
+#[derive(Clone, Debug)]
+pub struct BmcEnumeration {
+    /// Distinct counterexamples, in discovery order. Each pairs the
+    /// witness with the Boolean assignment of the projection set it
+    /// was blocked on (so two entries never agree on every bit).
+    pub cexes: Vec<(Counterexample, Vec<bool>)>,
+    /// `true` if the final query was UNSAT: every equivalence class of
+    /// the projection set has been enumerated.
+    pub exhausted: bool,
+}
+
 /// An incremental bounded model checker.
 ///
 /// Unrolls the transition relation frame by frame inside one
@@ -340,6 +353,111 @@ impl<'a> Bmc<'a> {
         latches
     }
 
+    /// The input variables of frames `0..=k` — the *inputs* projection
+    /// set: two depth-`k` traces are distinct iff they differ on some
+    /// bit of this set (the design is deterministic given its inputs).
+    pub fn input_projection(&mut self, k: usize) -> Vec<Var> {
+        self.extend_to(k);
+        self.input_vars[..=k].iter().flatten().copied().collect()
+    }
+
+    /// The frame-`k` state variables of the given latches — the
+    /// *latch-support* projection set: distinct assignments are
+    /// distinct bad states as seen by a property whose cone reads
+    /// exactly those latches.
+    pub fn state_projection(&mut self, k: usize, latches: &[usize]) -> Vec<Var> {
+        self.extend_to(k);
+        latches.iter().map(|&i| self.state_vars[k][i]).collect()
+    }
+
+    /// Enumerates counterexamples to `prop` at exactly depth `k`,
+    /// distinct on the `projection` variables, up to `max` of them.
+    ///
+    /// Each found model is blocked with a clause over the projection
+    /// set, guarded by a fresh activation literal that is retired when
+    /// the round ends — so the unrolling stays warm and unpolluted for
+    /// the next property's round (the same re-query discipline the
+    /// warm consecution solvers use).
+    pub fn enumerate_at(
+        &mut self,
+        prop: PropertyId,
+        k: usize,
+        projection: &[Var],
+        max: usize,
+        budget: Budget,
+    ) -> BmcEnumeration {
+        self.extend_to(k);
+        self.solver.set_budget(budget);
+        let act = self.solver.new_var();
+        let mut assumptions = self.init_assumptions.clone();
+        assumptions.push(!self.good_lits[k][prop.index()]);
+        assumptions.push(act.pos());
+        let mut cexes: Vec<(Counterexample, Vec<bool>)> = Vec::new();
+        let mut exhausted = false;
+        while cexes.len() < max {
+            match self.solver.solve(&assumptions) {
+                SolveResult::Sat => {
+                    let trace = self.extract_trace(k);
+                    let bits: Vec<bool> = projection
+                        .iter()
+                        .map(|&v| self.solver.model_value(v.pos()).to_bool().unwrap_or(false))
+                        .collect();
+                    // The blocking clause: differ from this model on
+                    // some projection bit. An empty projection has a
+                    // single equivalence class, so one witness is all
+                    // of them.
+                    let block: Vec<Lit> = projection
+                        .iter()
+                        .zip(&bits)
+                        .map(|(&v, &b)| v.lit(b))
+                        .collect();
+                    cexes.push((Counterexample { depth: k, trace }, bits));
+                    if block.is_empty() {
+                        exhausted = true;
+                        break;
+                    }
+                    self.solver.add_clause_guarded(act, &block);
+                }
+                SolveResult::Unsat => {
+                    exhausted = true;
+                    break;
+                }
+                SolveResult::Unknown => break,
+            }
+        }
+        self.solver.retire(act);
+        self.solver.simplify();
+        BmcEnumeration { cexes, exhausted }
+    }
+
+    /// Solves "`prop` fails at exactly depth `k`" under the given
+    /// random parity constraints — one round of XOR-hash counting.
+    /// Each entry of `xors` is a variable subset with a target parity;
+    /// all of them are added guarded by one fresh activation literal
+    /// and retired before returning, so consecutive rounds never see
+    /// each other's constraints.
+    pub fn solve_with_parity(
+        &mut self,
+        prop: PropertyId,
+        k: usize,
+        xors: &[(Vec<Var>, bool)],
+        budget: Budget,
+    ) -> SolveResult {
+        self.extend_to(k);
+        self.solver.set_budget(budget);
+        let act = self.solver.new_var();
+        for (vars, parity) in xors {
+            self.solver.add_xor_guarded(act, vars, *parity);
+        }
+        let mut assumptions = self.init_assumptions.clone();
+        assumptions.push(!self.good_lits[k][prop.index()]);
+        assumptions.push(act.pos());
+        let result = self.solver.solve(&assumptions);
+        self.solver.retire(act);
+        self.solver.simplify();
+        result
+    }
+
     fn extract_trace(&self, k: usize) -> Trace {
         let value = |v: Var| self.solver.model_value(v.pos()).to_bool().unwrap_or(false);
         let states: Vec<Vec<bool>> = self.state_vars[..=k]
@@ -513,6 +631,88 @@ mod tests {
         // depths 0..2 is returned without panicking.
         let core = bmc.probe_core(p, 8, Budget::unlimited());
         assert!(core.iter().all(|&i| i < 3));
+    }
+
+    /// `k` latches loaded directly from `k` inputs, with "good" iff
+    /// the latch word stays below `bad_from` — so at depth 1 exactly
+    /// `2^k - bad_from` distinct bad states are reachable.
+    fn loadable(bits: usize, bad_from: u64) -> (TransitionSystem, PropertyId) {
+        let mut aig = Aig::new();
+        let ins = Word::inputs(&mut aig, bits);
+        let w = Word::latches(&mut aig, bits, 0);
+        w.set_next(&mut aig, &ins);
+        let good = w.lt_const(&mut aig, bad_from);
+        let mut sys = TransitionSystem::new("load", aig);
+        let p = sys.add_property("below", good);
+        (sys, p)
+    }
+
+    #[test]
+    fn enumeration_is_exhaustive_and_duplicate_free() {
+        let (sys, p) = loadable(4, 11); // 16 - 11 = 5 bad states
+        let mut bmc = Bmc::new(&sys);
+        let proj = bmc.state_projection(1, &sys.latch_support(p));
+        let round = bmc.enumerate_at(p, 1, &proj, 64, Budget::unlimited());
+        assert!(round.exhausted);
+        assert_eq!(round.cexes.len(), 5);
+        let mut seen: Vec<&Vec<bool>> = Vec::new();
+        for (cex, bits) in &round.cexes {
+            assert_eq!(cex.depth, 1);
+            let r = replay(&sys, &cex.trace).expect("replayable");
+            assert!(r.violates_finally(p));
+            assert!(!seen.contains(&bits), "duplicate projection {bits:?}");
+            seen.push(bits);
+        }
+        // The cap is honored and leaves the round unexhausted.
+        let capped = bmc.enumerate_at(p, 1, &proj, 2, Budget::unlimited());
+        assert_eq!(capped.cexes.len(), 2);
+        assert!(!capped.exhausted);
+        // Retired rounds leave no blocking behind: a plain re-query
+        // still finds a counterexample.
+        assert!(bmc.check_at(&[p], 1, Budget::unlimited()).is_cex());
+    }
+
+    #[test]
+    fn input_projection_separates_distinct_stimuli() {
+        let (sys, p) = loadable(2, 3); // bad iff both latch bits set
+        let mut bmc = Bmc::new(&sys);
+        let proj = bmc.input_projection(1);
+        assert_eq!(proj.len(), 2 * 2, "two inputs over two frames");
+        let round = bmc.enumerate_at(p, 1, &proj, 64, Budget::unlimited());
+        // Frame-0 inputs must both be set; frame-1 inputs are free.
+        assert!(round.exhausted);
+        assert_eq!(round.cexes.len(), 4);
+    }
+
+    #[test]
+    fn parity_rounds_halve_and_retire_cleanly() {
+        let (sys, p) = loadable(3, 0); // all 8 states bad
+        let mut bmc = Bmc::new(&sys);
+        let proj = bmc.state_projection(1, &[0, 1, 2]);
+        // One XOR over the full projection keeps exactly half the
+        // states, for either parity.
+        for parity in [false, true] {
+            let xors = vec![(proj.clone(), parity)];
+            assert_eq!(
+                bmc.solve_with_parity(p, 1, &xors, Budget::unlimited()),
+                SolveResult::Sat
+            );
+        }
+        // Three independent single-bit "XOR"s pin one exact state;
+        // adding the complementary unit makes the round UNSAT.
+        let pin: Vec<(Vec<Var>, bool)> = proj.iter().map(|&v| (vec![v], true)).collect();
+        assert_eq!(
+            bmc.solve_with_parity(p, 1, &pin, Budget::unlimited()),
+            SolveResult::Sat
+        );
+        let mut contradictory = pin.clone();
+        contradictory.push((vec![proj[0]], false));
+        assert_eq!(
+            bmc.solve_with_parity(p, 1, &contradictory, Budget::unlimited()),
+            SolveResult::Unsat
+        );
+        // Rounds retire their constraints: the plain query is still SAT.
+        assert!(bmc.check_at(&[p], 1, Budget::unlimited()).is_cex());
     }
 
     #[test]

@@ -51,7 +51,7 @@ mod kind;
 mod options;
 mod result;
 
-pub use bmc::{Bmc, BmcResult};
+pub use bmc::{Bmc, BmcEnumeration, BmcResult};
 pub use ctx::{ClauseSource, SolverCtx};
 pub use encode::TsEncoding;
 pub use engine::Ic3;

@@ -15,6 +15,7 @@
 //! |----------------------|---------------|--------------------|
 //! | `check_one`          | property name | `panic`, `delay`   |
 //! | `joint_attempt`      | design name   | `panic`, `delay`   |
+//! | `enum_round`         | property name | `panic`, `delay`   |
 //! | `feature_store_save` | file name     | `truncate`         |
 //! | `verdict_cache_save` | file name     | `truncate`         |
 //!

@@ -81,6 +81,10 @@ pub enum Phase {
     /// A joint k-induction check (mining's promotion stage, or any
     /// direct `KInduction` use).
     Induction,
+    /// One property's counterexample-enumeration round (post-verdict).
+    Enum,
+    /// One property's XOR-hash bad-state counting round (post-verdict).
+    Count,
 }
 
 impl Phase {
@@ -97,6 +101,8 @@ impl Phase {
         Phase::Mine,
         Phase::MineSim,
         Phase::Induction,
+        Phase::Enum,
+        Phase::Count,
     ];
 
     /// The wire name used in JSONL (`phase` field).
@@ -113,6 +119,8 @@ impl Phase {
             Phase::Mine => "mine",
             Phase::MineSim => "mine_sim",
             Phase::Induction => "induction",
+            Phase::Enum => "enum",
+            Phase::Count => "count",
         }
     }
 
@@ -227,6 +235,38 @@ pub enum EventKind {
         /// Survivors promoted to real properties.
         promoted: usize,
     },
+    /// One falsified property's counterexample-enumeration summary:
+    /// how many distinct (projection-set) witnesses were collected at
+    /// the minimal counterexample depth.
+    Enumerated {
+        /// Property name.
+        property: String,
+        /// Depth the enumeration ran at.
+        depth: usize,
+        /// Distinct replay-checked counterexamples collected.
+        found: usize,
+        /// `true` if the projection set was exhausted (no further
+        /// distinct witness exists), `false` if the `--enum-max` cap
+        /// or a budget stopped the round first.
+        exhausted: bool,
+    },
+    /// One falsified property's XOR-hash bad-state count estimate.
+    Counted {
+        /// Property name.
+        property: String,
+        /// Lower end of the `[lo, hi]` estimate.
+        lo: u64,
+        /// Upper end of the `[lo, hi]` estimate.
+        hi: u64,
+        /// The XOR-constraint level `s*` at the SAT/UNSAT boundary
+        /// (0 when the count is exact).
+        level: usize,
+        /// Solver trials per level.
+        trials: usize,
+        /// `true` if the estimate is an exact enumeration, not a hash
+        /// bracket.
+        exact: bool,
+    },
 }
 
 /// How often the solver emits [`EventKind::Sample`] records, in
@@ -246,6 +286,8 @@ impl EventKind {
             EventKind::Import { .. } => "import",
             EventKind::Fault { .. } => "fault",
             EventKind::Mined { .. } => "mined",
+            EventKind::Enumerated { .. } => "enumerated",
+            EventKind::Counted { .. } => "counted",
         }
     }
 }
@@ -346,6 +388,32 @@ impl Event {
                 pairs.push(("induction_killed".into(), int(*induction_killed as u64)));
                 pairs.push(("promoted".into(), int(*promoted as u64)));
             }
+            EventKind::Enumerated {
+                property,
+                depth,
+                found,
+                exhausted,
+            } => {
+                pairs.push(("property".into(), Value::Str(property.clone())));
+                pairs.push(("depth".into(), int(*depth as u64)));
+                pairs.push(("found".into(), int(*found as u64)));
+                pairs.push(("exhausted".into(), Value::Bool(*exhausted)));
+            }
+            EventKind::Counted {
+                property,
+                lo,
+                hi,
+                level,
+                trials,
+                exact,
+            } => {
+                pairs.push(("property".into(), Value::Str(property.clone())));
+                pairs.push(("lo".into(), int(*lo)));
+                pairs.push(("hi".into(), int(*hi)));
+                pairs.push(("level".into(), int(*level as u64)));
+                pairs.push(("trials".into(), int(*trials as u64)));
+                pairs.push(("exact".into(), Value::Bool(*exact)));
+            }
         }
         Value::Obj(pairs)
     }
@@ -437,6 +505,35 @@ impl Event {
                 induction_killed: usize_field("induction_killed")?,
                 promoted: usize_field("promoted")?,
             },
+            "enumerated" | "counted" => {
+                let property = v
+                    .get("property")
+                    .and_then(Value::as_str)
+                    .ok_or(SchemaError::MissingField("property"))?
+                    .to_string();
+                let bool_field = |name: &'static str| {
+                    v.get(name)
+                        .ok_or(SchemaError::MissingField(name))
+                        .and_then(|f| f.as_bool().ok_or(SchemaError::BadField(name)))
+                };
+                if ev == "enumerated" {
+                    EventKind::Enumerated {
+                        property,
+                        depth: usize_field("depth")?,
+                        found: usize_field("found")?,
+                        exhausted: bool_field("exhausted")?,
+                    }
+                } else {
+                    EventKind::Counted {
+                        property,
+                        lo: field("lo")?,
+                        hi: field("hi")?,
+                        level: usize_field("level")?,
+                        trials: usize_field("trials")?,
+                        exact: bool_field("exact")?,
+                    }
+                }
+            }
             other => return Err(SchemaError::UnknownEvent(other.to_string())),
         };
         Ok(Event {
@@ -921,6 +1018,20 @@ mod tests {
                 sim_killed: 30,
                 induction_killed: 15,
                 promoted: 75,
+            });
+            j.event(EventKind::Enumerated {
+                property: "lt3".into(),
+                depth: 3,
+                found: 4,
+                exhausted: true,
+            });
+            j.event(EventKind::Counted {
+                property: "lt3".into(),
+                lo: 64,
+                hi: 1024,
+                level: 8,
+                trials: 5,
+                exact: false,
             });
         }
         let mut buf = Vec::new();

@@ -120,6 +120,41 @@ pub trait SatBackend: fmt::Debug + Send {
     fn retire(&mut self, act: Var) -> bool {
         self.add_clause(&[act.neg()])
     }
+
+    /// Adds the parity constraint `XOR(vars) = parity` guarded by
+    /// `act`, via a Tseitin chain of fresh auxiliary variables. Every
+    /// clause of the encoding carries the `!act` guard, so retiring
+    /// `act` (see [`SatBackend::retire`]) reclaims the whole
+    /// constraint — the mechanism XOR-hash counting uses to add and
+    /// drop one round's random parity constraints on a warm solver.
+    ///
+    /// An empty `vars` set has XOR value `false`: with `parity ==
+    /// true` the constraint is unsatisfiable under `act` (encoded as
+    /// the guarded empty clause, i.e. the unit `!act`).
+    fn add_xor_guarded(&mut self, act: Var, vars: &[Var], parity: bool) -> bool {
+        let Some((&first, rest)) = vars.split_first() else {
+            return if parity {
+                self.add_clause(&[act.neg()])
+            } else {
+                true
+            };
+        };
+        let mut acc = first.pos();
+        for &v in rest {
+            let out = self.new_var().pos();
+            let b = v.pos();
+            // out <-> acc XOR b, each clause guarded by act.
+            let mut ok = self.add_clause(&[act.neg(), !out, acc, b]);
+            ok &= self.add_clause(&[act.neg(), !out, !acc, !b]);
+            ok &= self.add_clause(&[act.neg(), out, !acc, b]);
+            ok &= self.add_clause(&[act.neg(), out, acc, !b]);
+            if !ok {
+                return false;
+            }
+            acc = out;
+        }
+        self.add_clause(&[act.neg(), if parity { acc } else { !acc }])
+    }
 }
 
 impl SatBackend for Solver {
@@ -315,6 +350,64 @@ mod tests {
             s.simplify();
             assert_eq!(s.solve(&[v0.pos()]), SolveResult::Sat);
         }
+    }
+
+    #[test]
+    fn guarded_xor_constrains_only_under_its_activation_literal() {
+        for &choice in BackendChoice::ALL {
+            let mut s = choice.build();
+            let a = s.new_var();
+            let b = s.new_var();
+            let c = s.new_var();
+            let act = s.new_var();
+            assert!(s.add_xor_guarded(act, &[a, b, c], true));
+            // Under act, exactly the odd-parity assignments survive.
+            for m in 0u8..8 {
+                let assumptions = [
+                    act.pos(),
+                    a.lit(m & 1 == 0),
+                    b.lit(m & 2 == 0),
+                    c.lit(m & 4 == 0),
+                ];
+                let expect = if (m.count_ones() % 2) == 1 {
+                    SolveResult::Sat
+                } else {
+                    SolveResult::Unsat
+                };
+                assert_eq!(s.solve(&assumptions), expect, "{choice} m={m}");
+            }
+            // Without act the constraint is dormant.
+            assert_eq!(s.solve(&[a.neg(), b.neg(), c.neg()]), SolveResult::Sat);
+            // Retiring act drops the constraint permanently.
+            assert!(s.retire(act));
+            s.simplify();
+            assert_eq!(
+                s.solve(&[a.neg(), b.neg(), c.neg()]),
+                SolveResult::Sat,
+                "{choice}: retired XOR must not constrain"
+            );
+        }
+    }
+
+    #[test]
+    fn guarded_xor_edge_cases() {
+        let mut s = BackendChoice::default().build();
+        let v = s.new_var();
+        // Single-variable XOR degenerates to a guarded unit.
+        let act = s.new_var();
+        assert!(s.add_xor_guarded(act, &[v], false));
+        assert_eq!(s.solve(&[act.pos(), v.pos()]), SolveResult::Unsat);
+        assert_eq!(s.solve(&[act.pos(), v.neg()]), SolveResult::Sat);
+        s.retire(act);
+        // Empty XOR: parity false is a tautology, parity true is
+        // unsatisfiable under its guard (and only under it).
+        let taut = s.new_var();
+        assert!(s.add_xor_guarded(taut, &[], false));
+        assert_eq!(s.solve(&[taut.pos()]), SolveResult::Sat);
+        let contra = s.new_var();
+        s.add_xor_guarded(contra, &[], true);
+        assert_eq!(s.solve(&[contra.pos()]), SolveResult::Unsat);
+        assert_eq!(s.solve(&[]), SolveResult::Sat);
     }
 
     #[test]

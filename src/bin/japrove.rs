@@ -7,9 +7,9 @@
 //! property.
 
 use japrove::core::{
-    grouped_verify, local_assumptions, mine_verify, validate_debugging_set, AffinityMetric,
-    ClusteredOptions, CostModel, GroupingOptions, JointOptions, MultiReport, SchedulePolicy,
-    SeparateOptions, Session, VerdictCache,
+    enumerate_report, grouped_verify, local_assumptions, mine_verify, validate_debugging_set,
+    AffinityMetric, ClusteredOptions, CostModel, EnumOptions, GroupingOptions, JointOptions,
+    MultiReport, Projection, SchedulePolicy, SeparateOptions, Session, VerdictCache,
 };
 use japrove::ic3::Lifting;
 use japrove::mine::MineOptions;
@@ -61,6 +61,21 @@ OPTIONS:
                               property workload
     --mine-depth <K>          induction depth for --mine promotion
                               [default: 2]
+    --enum                    after the verdicts settle, enumerate
+                              distinct counterexamples for every
+                              falsified property (blocking clauses over
+                              the --projection set; every witness is
+                              replay-checked)
+    --enum-max <N>            cap on enumerated counterexamples per
+                              property [default: 16]
+    --count                   XOR-hash estimate [lo, hi] of the number
+                              of distinct failing --projection
+                              assignments per falsified property
+    --projection <inputs|latches>
+                              what two counterexamples must differ on:
+                              the whole input stimulus, or the final
+                              state of the property cone's latch
+                              support [default: inputs]
     --trace-out <FILE>        write the run journal as JSONL
     --metrics                 print the per-phase time breakdown
     --json <FILE>             write the report (with per-property solver
@@ -79,8 +94,8 @@ OPTIONS:
     --fault-plan <SPEC>       deterministic fault injection: ';'-separated
                               clauses panic@SITE:RATE, delay@SITE:RATE:MILLIS
                               or truncate@SITE:RATE:BYTES (sites: check_one,
-                              joint_attempt, feature_store_save,
-                              verdict_cache_save)
+                              joint_attempt, enum_round,
+                              feature_store_save, verdict_cache_save)
     --fault-seed <N>          seed for --fault-plan decisions [default: 0]
     --witness-dir <DIR>       write AIGER witnesses for failing properties
     --validate                re-check the debugging-set guarantees
@@ -104,6 +119,10 @@ struct Cli {
     gen: Option<String>,
     mine: bool,
     mine_depth: Option<usize>,
+    enumerate: bool,
+    count: bool,
+    enum_max: usize,
+    projection: Projection,
     mode: String,
     affinity: AffinityMetric,
     threads: usize,
@@ -135,6 +154,10 @@ fn parse_args() -> Result<Cli, String> {
         gen: None,
         mine: false,
         mine_depth: None,
+        enumerate: false,
+        count: false,
+        enum_max: 16,
+        projection: Projection::default(),
         mode: "ja".into(),
         affinity: AffinityMetric::default(),
         threads: 2,
@@ -225,6 +248,16 @@ fn parse_args() -> Result<Cli, String> {
             }
             "--gen" => cli.gen = Some(value("--gen")?),
             "--mine" => cli.mine = true,
+            "--enum" => cli.enumerate = true,
+            "--count" => cli.count = true,
+            "--enum-max" => {
+                cli.enum_max = value("--enum-max")?
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| "invalid --enum-max (need an integer >= 1)".to_string())?
+            }
+            "--projection" => cli.projection = value("--projection")?.parse()?,
             "--mine-depth" => {
                 cli.mine_depth = Some(
                     value("--mine-depth")?
@@ -271,6 +304,25 @@ fn parse_args() -> Result<Cli, String> {
         return Err("--mine-depth only makes sense with --mine".into());
     }
     Ok(cli)
+}
+
+/// The enumeration options implied by the flags, or `None` when
+/// neither `--enum` nor `--count` was given.
+fn enum_options(cli: &Cli, journal: &Journal) -> Option<EnumOptions> {
+    if !cli.enumerate && !cli.count {
+        return None;
+    }
+    let mut opts = EnumOptions::new()
+        .enumerate(cli.enumerate)
+        .count(cli.count)
+        .max_cexes(cli.enum_max)
+        .projection(cli.projection)
+        .backend(cli.backend)
+        .journal(journal.clone());
+    if let Some(n) = cli.retries {
+        opts = opts.retries(n);
+    }
+    Some(opts)
 }
 
 fn load_design(cli: &Cli) -> Result<TransitionSystem, String> {
@@ -351,8 +403,17 @@ fn run(cli: &Cli, journal: &Journal) -> Result<(MultiReport, TransitionSystem), 
     // Every Session-backed mode funnels through one closure so the mine
     // path (which verifies the *mined* system) shares the exact same
     // wiring: the cost model keys off whichever system is verified.
+    let enum_opts = enum_options(cli, journal);
     let mut verify = |sys: &TransitionSystem| match cli.mode.as_str() {
-        "grouped" => grouped_verify(sys, &GroupingOptions::new().joint(joint.clone())),
+        "grouped" => {
+            // The grouped baseline predates the Session pipeline; run
+            // the post-verdict pass directly on its report.
+            let mut report = grouped_verify(sys, &GroupingOptions::new().joint(joint.clone()));
+            if let Some(opts) = &enum_opts {
+                report.enumerations = enumerate_report(sys, &report, opts);
+            }
+            report
+        }
         mode => {
             let mut session = match mode {
                 "ja" => Session::separate(sep.clone()),
@@ -377,6 +438,9 @@ fn run(cli: &Cli, journal: &Journal) -> Result<(MultiReport, TransitionSystem), 
             }
             if let Some(cache) = cache_slot.take() {
                 session = session.verdict_cache(cache);
+            }
+            if let Some(opts) = &enum_opts {
+                session = session.enumeration(opts.clone());
             }
             let report = session.run(sys);
             cache_slot = session.take_verdict_cache();
@@ -419,6 +483,51 @@ fn run(cli: &Cli, journal: &Journal) -> Result<(MultiReport, TransitionSystem), 
         }
     }
     Ok((report, sys))
+}
+
+/// Prints the per-property enumeration/counting lines. Deterministic
+/// (the CI enum-smoke job greps them) and printed even under `-q` —
+/// they are the pass's headline numbers.
+fn print_enumerations(cli: &Cli, report: &MultiReport) {
+    if report.enumerations.is_empty() {
+        println!("0 enumerable properties");
+        return;
+    }
+    for e in &report.enumerations {
+        if e.faulted {
+            println!("enumeration of {} faulted (enum_round)", e.name);
+            continue;
+        }
+        if cli.enumerate {
+            println!(
+                "enumerated {}: {} distinct counterexamples at depth {} over {} {} bits{}{}",
+                e.name,
+                e.cexes.len(),
+                e.depth,
+                e.projection_bits,
+                e.projection,
+                if e.exhausted { " (all)" } else { " (capped)" },
+                if e.rejected > 0 {
+                    " [replay rejected some!]"
+                } else {
+                    ""
+                },
+            );
+        }
+        if let Some(c) = &e.count {
+            if c.exact {
+                println!(
+                    "counted {}: exactly {} bad {} assignments",
+                    e.name, c.lo, e.projection
+                );
+            } else {
+                println!(
+                    "counted {}: [{}, {}] bad {} assignments (level {}, {} trials, eps={}, delta={})",
+                    e.name, c.lo, c.hi, e.projection, c.level, c.trials, c.epsilon, c.delta
+                );
+            }
+        }
+    }
 }
 
 /// Renders the report (with each property's engine and SAT counters)
@@ -476,6 +585,41 @@ fn report_json(report: &MultiReport) -> Value {
         ("num_false".into(), int(report.num_false() as u64)),
         ("num_unsolved".into(), int(report.num_unsolved() as u64)),
         ("properties".into(), Value::Arr(props)),
+        (
+            "enumerations".into(),
+            Value::Arr(
+                report
+                    .enumerations
+                    .iter()
+                    .map(|e| {
+                        let mut obj = vec![
+                            ("name".into(), Value::Str(e.name.clone())),
+                            ("depth".into(), int(e.depth as u64)),
+                            ("projection".into(), Value::Str(e.projection.to_string())),
+                            ("projection_bits".into(), int(e.projection_bits as u64)),
+                            ("distinct".into(), int(e.cexes.len() as u64)),
+                            ("exhausted".into(), Value::Bool(e.exhausted)),
+                            ("faulted".into(), Value::Bool(e.faulted)),
+                        ];
+                        if let Some(c) = &e.count {
+                            obj.push((
+                                "count".into(),
+                                Value::Obj(vec![
+                                    ("lo".into(), int(c.lo)),
+                                    ("hi".into(), int(c.hi)),
+                                    ("exact".into(), Value::Bool(c.exact)),
+                                    ("level".into(), int(c.level as u64)),
+                                    ("trials".into(), int(c.trials as u64)),
+                                    ("epsilon".into(), Value::Num(c.epsilon)),
+                                    ("delta".into(), Value::Num(c.delta)),
+                                ]),
+                            ));
+                        }
+                        Value::Obj(obj)
+                    })
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -638,6 +782,9 @@ fn main() -> ExitCode {
         if !debug_set.is_empty() {
             println!("debugging set (fix these first): {debug_set:?}");
         }
+    }
+    if cli.enumerate || cli.count {
+        print_enumerations(&cli, &report);
     }
 
     if let Some(dir) = &cli.witness_dir {

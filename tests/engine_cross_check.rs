@@ -475,3 +475,54 @@ fn certificates_from_multi_property_runs_verify() {
         }
     }
 }
+
+#[test]
+fn enumeration_parity_between_separate_and_clustered() {
+    // The distinct-failure set of a falsified property is a semantic
+    // object: whichever driver produced the verdicts (and whatever
+    // depth its recorded witness had), the post-verdict enumerator
+    // re-derives the minimal depth and must return the same projection
+    // sets, the same exhaustion and the same count bracket. Only the
+    // order of witnesses may differ.
+    use japrove::core::{EnumOptions, Projection, Session};
+    use std::collections::{BTreeMap, BTreeSet};
+    let enum_opts = EnumOptions::new()
+        .enumerate(true)
+        .count(true)
+        .max_cexes(4096)
+        .projection(Projection::Latches);
+    for design in random_designs().into_iter().take(4) {
+        let sys = &design.sys;
+        let separate = Session::separate(SeparateOptions::global())
+            .enumeration(enum_opts.clone())
+            .run(sys);
+        let clustered = Session::clustered(
+            ClusteredOptions::new().separate(SeparateOptions::global()),
+            4,
+        )
+        .enumeration(enum_opts.clone())
+        .run(sys);
+        assert_eq!(
+            separate.enumerations.len(),
+            clustered.enumerations.len(),
+            "{}: same falsified set",
+            sys.name()
+        );
+        let key = |report: &japrove::core::MultiReport| -> BTreeMap<String, _> {
+            report
+                .enumerations
+                .iter()
+                .map(|e| {
+                    assert!(!e.faulted, "{}/{}", sys.name(), e.name);
+                    assert!(e.exhausted, "{}/{}: cap must not bind", sys.name(), e.name);
+                    assert_eq!(e.rejected, 0, "{}/{}", sys.name(), e.name);
+                    let set: BTreeSet<Vec<bool>> =
+                        e.cexes.iter().map(|c| c.projection.clone()).collect();
+                    let count = e.count.as_ref().map(|c| (c.lo, c.hi, c.exact));
+                    (e.name.clone(), (e.depth, set, count))
+                })
+                .collect()
+        };
+        assert_eq!(key(&separate), key(&clustered), "{}", sys.name());
+    }
+}

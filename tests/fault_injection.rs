@@ -174,6 +174,57 @@ fn zero_retries_contains_without_reattempting() {
     assert_eq!(fault_events(&journal), 2, "one containment per property");
 }
 
+/// A panic in the post-verdict enumeration pass (the `enum_round`
+/// site) degrades only that property's *enumeration* — the verdicts
+/// settled before the pass ran and must match the clean run exactly,
+/// and the run still completes with a `faulted` marker per entry.
+#[test]
+fn enum_round_panic_degrades_enumeration_never_verdicts() {
+    use japrove::core::{EnumOptions, Projection};
+    let sys = mixed_design();
+    let session = |journal: &Journal| {
+        Session::separate(SeparateOptions::local().journal(journal.clone())).enumeration(
+            EnumOptions::new()
+                .enumerate(true)
+                .count(true)
+                .projection(Projection::Latches)
+                .journal(journal.clone()),
+        )
+    };
+
+    let clean_journal = Journal::new();
+    let clean = with_plan(FaultPlan::parse("", 0).unwrap(), || {
+        session(&clean_journal).run(&sys)
+    });
+    assert!(clean.num_false() >= 2, "the mix has two shallow failures");
+    assert_eq!(clean.enumerations.len(), clean.num_false());
+    assert!(clean.enumerations.iter().all(|e| !e.faulted));
+    assert!(clean.enumerations.iter().all(|e| !e.cexes.is_empty()));
+
+    let chaos_journal = Journal::new();
+    let chaos = with_plan(FaultPlan::parse("panic@enum_round:1.0", 7).unwrap(), || {
+        session(&chaos_journal).run(&sys)
+    });
+    for r in &chaos.results {
+        let reference = clean.result(r.id).expect("same property set");
+        assert_eq!(r.holds(), reference.holds(), "{} verdict flipped", r.name);
+        assert_eq!(r.fails(), reference.fails(), "{} verdict flipped", r.name);
+        assert!(
+            !engine_faulted(r),
+            "{}: the engines never ran faulted",
+            r.name
+        );
+    }
+    assert_eq!(chaos.enumerations.len(), clean.enumerations.len());
+    for e in &chaos.enumerations {
+        assert!(e.faulted, "{}: enumeration degrades", e.name);
+        assert!(e.cexes.is_empty() && e.count.is_none(), "{}", e.name);
+    }
+    // First attempt + one supervised retry per falsified property, each
+    // containment journaled.
+    assert_eq!(fault_events(&chaos_journal), 2 * chaos.enumerations.len());
+}
+
 /// A torn verdict-cache write (injected at the `verdict_cache_save`
 /// site, simulating a crash mid-save under the legacy non-atomic
 /// writer) is skipped by the lossy loader with a count — verdicts
